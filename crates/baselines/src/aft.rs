@@ -1,0 +1,80 @@
+//! AFT baseline (§V baseline 4): iterative generate-and-select with
+//! downstream feedback, in the style of the autofeat library — propose a
+//! candidate batch, keep it only when the evaluated score improves.
+
+use crate::common::{random_expr, try_add_expr, Budget, FeatureTransformMethod, MethodResult, RunScope};
+use fastft_core::FeatureSet;
+use fastft_ml::Evaluator;
+use fastft_tabular::{rngx, Dataset};
+
+/// Iterative generate-and-select baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Aft {
+    /// Accept/reject rounds.
+    pub budget: Budget,
+    /// Feature cap.
+    pub max_features_factor: f64,
+}
+
+impl Default for Aft {
+    fn default() -> Self {
+        Aft { budget: Budget::default(), max_features_factor: 2.0 }
+    }
+}
+
+impl FeatureTransformMethod for Aft {
+    fn name(&self) -> &'static str {
+        "AFT"
+    }
+
+    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+        let mut scope = RunScope::start();
+        let mut rng = rngx::rng(seed);
+        let cap = (((data.n_features() as f64) * self.max_features_factor) as usize).max(4);
+        let mut fs = FeatureSet::from_original(data);
+        let mut best_fs = fs.clone();
+        let mut best = scope.evaluate(evaluator, &fs.data);
+        for _ in 0..self.budget.rounds {
+            let snapshot = fs.clone();
+            let mut added = 0;
+            for _ in 0..self.budget.per_round {
+                let e = random_expr(&fs.exprs, &mut rng);
+                if try_add_expr(&mut fs, e) {
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                continue;
+            }
+            fs.select_top(cap, 12);
+            let score = scope.evaluate(evaluator, &fs.data);
+            if score > best {
+                best = score;
+                best_fs = fs.clone();
+            } else {
+                // Reject the batch: revert to the snapshot.
+                fs = snapshot;
+            }
+        }
+        scope.finish(self.name(), best_fs, best, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::datagen;
+
+    #[test]
+    fn aft_never_returns_worse_than_base() {
+        let spec = datagen::by_name("pima_indian").unwrap();
+        let mut d = datagen::generate_capped(spec, 150, 0);
+        d.sanitize();
+        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let base = ev.evaluate(&d);
+        let r = Aft { budget: Budget { rounds: 3, per_round: 4 }, ..Aft::default() }
+            .run(&d, &ev, 1);
+        assert!(r.score >= base, "AFT {} < base {base}", r.score);
+        assert!(r.downstream_evals >= 2);
+    }
+}

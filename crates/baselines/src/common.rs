@@ -1,0 +1,122 @@
+//! Shared scaffolding for the ten baseline methods.
+
+use fastft_core::{Expr, FeatureSet, Op};
+use fastft_ml::Evaluator;
+use fastft_tabular::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// Outcome of one baseline run.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method name (Table I column header).
+    pub name: &'static str,
+    /// Final transformed dataset.
+    pub dataset: Dataset,
+    /// Traceable expressions of the final feature set.
+    pub exprs: Vec<Expr>,
+    /// Downstream CV score of the final feature set.
+    pub score: f64,
+    /// Measured wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Simulated external latency (CAAFE's LLM round-trips); reported
+    /// separately so harnesses can include it in total runtime.
+    pub simulated_latency_secs: f64,
+    /// Downstream evaluations performed.
+    pub downstream_evals: usize,
+}
+
+/// A feature-transformation baseline.
+pub trait FeatureTransformMethod {
+    /// Table I column name.
+    fn name(&self) -> &'static str;
+
+    /// Transform `data` and return the scored result.
+    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult;
+}
+
+/// Helper wrapping the measured sections every method shares.
+pub struct RunScope {
+    start: Instant,
+    /// Downstream evaluations performed so far.
+    pub evals: usize,
+}
+
+impl RunScope {
+    /// Start timing.
+    pub fn start() -> Self {
+        RunScope { start: Instant::now(), evals: 0 }
+    }
+
+    /// Evaluate downstream, counting the call.
+    pub fn evaluate(&mut self, evaluator: &Evaluator, data: &Dataset) -> f64 {
+        self.evals += 1;
+        evaluator.evaluate(data)
+    }
+
+    /// Finish, producing a [`MethodResult`].
+    pub fn finish(
+        self,
+        name: &'static str,
+        fs: FeatureSet,
+        score: f64,
+        simulated_latency_secs: f64,
+    ) -> MethodResult {
+        MethodResult {
+            name,
+            exprs: fs.exprs,
+            dataset: fs.data,
+            score,
+            elapsed_secs: self.start.elapsed().as_secs_f64(),
+            simulated_latency_secs,
+            downstream_evals: self.evals,
+        }
+    }
+}
+
+/// Draw a random expression extending the current feature set: a random op
+/// applied to random existing expressions.
+pub fn random_expr(exprs: &[Expr], rng: &mut StdRng) -> Expr {
+    let op = Op::ALL[rng.gen_range(0..Op::COUNT)];
+    let a = exprs[rng.gen_range(0..exprs.len())].clone();
+    if op.is_unary() {
+        Expr::unary(op, a)
+    } else {
+        let b = exprs[rng.gen_range(0..exprs.len())].clone();
+        Expr::binary(op, a, b)
+    }
+}
+
+/// Evaluate an expression against a feature set's base columns, appending it
+/// when it is finite, non-constant and not already present. Returns whether
+/// it was added.
+pub fn try_add_expr(fs: &mut FeatureSet, e: Expr) -> bool {
+    if fs.expr_keys().contains(&e.to_string()) {
+        return false;
+    }
+    let mut col = e.eval(fs.base_columns());
+    fastft_core::transform::sanitize_column(&mut col);
+    let first = col[0];
+    if col.iter().all(|&v| v == first) {
+        return false;
+    }
+    fs.extend(vec![(e, col)]);
+    true
+}
+
+/// Default per-method iteration budget used by the harnesses; small enough
+/// for laptop runs, large enough to differentiate methods.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Generation rounds.
+    pub rounds: usize,
+    /// Candidates per round.
+    pub per_round: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { rounds: 8, per_round: 8 }
+    }
+}

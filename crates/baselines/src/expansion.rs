@@ -1,0 +1,138 @@
+//! Expansion-reduction baselines: **RFG** (random feature generation) and
+//! **ERG** (exhaustive expansion + reduction).
+//!
+//! Both generate a large candidate pool without iterative feedback, reduce
+//! it by MI-based selection, and evaluate the final set once — the cheap,
+//! unguided end of the paper's baseline spectrum.
+
+use crate::common::{random_expr, try_add_expr, Budget, FeatureTransformMethod, MethodResult, RunScope};
+use fastft_core::{Expr, FeatureSet, Op};
+use fastft_ml::Evaluator;
+use fastft_tabular::{Dataset, rngx};
+use rand::Rng;
+
+/// RFG: randomly select candidate features and operations (§V baseline 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Rfg {
+    /// Candidate generation budget.
+    pub budget: Budget,
+    /// Feature cap after reduction.
+    pub max_features_factor: f64,
+}
+
+impl Default for Rfg {
+    fn default() -> Self {
+        Rfg { budget: Budget::default(), max_features_factor: 2.0 }
+    }
+}
+
+impl FeatureTransformMethod for Rfg {
+    fn name(&self) -> &'static str {
+        "RFG"
+    }
+
+    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+        let mut scope = RunScope::start();
+        let mut rng = rngx::rng(seed);
+        let mut fs = FeatureSet::from_original(data);
+        let n_candidates = self.budget.rounds * self.budget.per_round;
+        for _ in 0..n_candidates {
+            let e = random_expr(&fs.exprs, &mut rng);
+            try_add_expr(&mut fs, e);
+        }
+        let cap = ((data.n_features() as f64) * self.max_features_factor) as usize;
+        fs.select_top(cap.max(4), 12);
+        let score = scope.evaluate(evaluator, &fs.data);
+        scope.finish(self.name(), fs, score, 0.0)
+    }
+}
+
+/// ERG: apply operations to all features to expand the space, then select
+/// key features (§V baseline 2).
+#[derive(Debug, Clone, Copy)]
+pub struct Erg {
+    /// Number of random binary pairs to add on top of the full unary
+    /// expansion.
+    pub binary_pairs: usize,
+    /// Feature cap after reduction.
+    pub max_features_factor: f64,
+}
+
+impl Default for Erg {
+    fn default() -> Self {
+        Erg { binary_pairs: 32, max_features_factor: 2.0 }
+    }
+}
+
+impl FeatureTransformMethod for Erg {
+    fn name(&self) -> &'static str {
+        "ERG"
+    }
+
+    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+        let mut scope = RunScope::start();
+        let mut rng = rngx::rng(seed);
+        let mut fs = FeatureSet::from_original(data);
+        let d = data.n_features();
+        // Full unary expansion over all original features.
+        for op in Op::unary() {
+            for i in 0..d {
+                try_add_expr(&mut fs, Expr::unary(op, Expr::base(i)));
+            }
+        }
+        // Random binary crossings over original pairs.
+        let binary: Vec<Op> = Op::binary().collect();
+        for _ in 0..self.binary_pairs {
+            let op = binary[rng.gen_range(0..binary.len())];
+            let i = rng.gen_range(0..d);
+            let j = rng.gen_range(0..d);
+            try_add_expr(&mut fs, Expr::binary(op, Expr::base(i), Expr::base(j)));
+        }
+        let cap = ((d as f64) * self.max_features_factor) as usize;
+        fs.select_top(cap.max(4), 12);
+        let score = scope.evaluate(evaluator, &fs.data);
+        scope.finish(self.name(), fs, score, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::datagen;
+
+    fn data() -> Dataset {
+        let spec = datagen::by_name("pima_indian").unwrap();
+        let mut d = datagen::generate_capped(spec, 150, 0);
+        d.sanitize();
+        d
+    }
+
+    #[test]
+    fn rfg_produces_scored_result() {
+        let d = data();
+        let r = Rfg::default().run(&d, &Evaluator { folds: 3, ..Evaluator::default() }, 1);
+        assert_eq!(r.name, "RFG");
+        assert!((0.0..=1.0).contains(&r.score));
+        assert!(r.dataset.n_features() >= 4);
+        assert_eq!(r.dataset.n_features(), r.exprs.len());
+        assert_eq!(r.downstream_evals, 1);
+    }
+
+    #[test]
+    fn erg_expands_then_reduces() {
+        let d = data();
+        let r = Erg::default().run(&d, &Evaluator { folds: 3, ..Evaluator::default() }, 2);
+        // Cap = 2 × 8 original features.
+        assert!(r.dataset.n_features() <= 16);
+        assert!(r.exprs.iter().any(|e| !e.is_base()), "no generated features survived");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = data();
+        let e = Evaluator { folds: 3, ..Evaluator::default() };
+        let a = Rfg::default().run(&d, &e, 7);
+        let b = Rfg::default().run(&d, &e, 7);
+        assert_eq!(a.score, b.score);
+    }
+}

@@ -1,0 +1,69 @@
+//! The ten feature-transformation baselines of the paper's Table I, plus
+//! FASTFT itself behind the same interface.
+//!
+//! | Module | Method | Paradigm |
+//! |---|---|---|
+//! | [`expansion`] | RFG, ERG | expansion–reduction |
+//! | [`lda`] | LDA | dimensionality reduction |
+//! | [`aft`] | AFT | iterative generate-and-select |
+//! | [`nfs`] | NFS | RL controller (REINFORCE) |
+//! | [`ttg`] | TTG | transformation-graph search |
+//! | [`difer`] | DIFER | learned-embedding greedy search |
+//! | [`openfe`] | OpenFE | feature boosting + two-stage pruning |
+//! | [`caafe`] | CAAFE | LLM proposals (simulated; DESIGN.md §1) |
+//! | [`grfg`] | GRFG | cascading RL without evaluation components |
+//! | [`fastft_method`] | FASTFT | this paper |
+//!
+//! All implement [`FeatureTransformMethod`]; [`standard_methods`] returns
+//! the Table I line-up.
+
+pub mod aft;
+pub mod caafe;
+pub mod common;
+pub mod difer;
+pub mod expansion;
+pub mod fastft_method;
+pub mod grfg;
+pub mod lda;
+pub mod nfs;
+pub mod openfe;
+pub mod ttg;
+
+pub use common::{Budget, FeatureTransformMethod, MethodResult};
+
+/// The ten baselines of Table I, in column order.
+pub fn standard_methods() -> Vec<Box<dyn FeatureTransformMethod>> {
+    vec![
+        Box::new(expansion::Rfg::default()),
+        Box::new(expansion::Erg::default()),
+        Box::new(lda::Lda::default()),
+        Box::new(aft::Aft::default()),
+        Box::new(nfs::Nfs::default()),
+        Box::new(ttg::Ttg::default()),
+        Box::new(difer::Difer::default()),
+        Box::new(openfe::OpenFe::default()),
+        Box::new(caafe::CaafeSim::default()),
+        Box::new(grfg::Grfg::default()),
+    ]
+}
+
+/// Table I's full line-up: the ten baselines plus FASTFT.
+pub fn all_methods() -> Vec<Box<dyn FeatureTransformMethod>> {
+    let mut v = standard_methods();
+    v.push(Box::new(fastft_method::FastFtMethod::default()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_match_table1() {
+        let names: Vec<&str> = all_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["RFG", "ERG", "LDA", "AFT", "NFS", "TTG", "DIFER", "OpenFE", "CAAFE", "GRFG", "FASTFT"]
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks over the workspace's hot paths — most
+//! importantly the paper's central speed claim: one Performance-Predictor
+//! forward pass vs one full downstream evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastft_core::predictor::{PerformancePredictor, PredictorConfig};
+use fastft_core::sequence::{encode_feature_set, TokenVocab};
+use fastft_core::transform::FeatureSet;
+use fastft_core::{cluster, Op};
+use fastft_ml::forest::{ForestParams, RandomForestClassifier};
+use fastft_ml::Evaluator;
+use fastft_nn::lstm::Lstm;
+use fastft_nn::matrix::Matrix;
+use fastft_nn::init;
+use fastft_tabular::{datagen, mi, rngx};
+use rand::Rng;
+
+fn dataset(rows: usize) -> fastft_tabular::Dataset {
+    let spec = datagen::by_name("pima_indian").unwrap();
+    let mut d = datagen::generate_capped(spec, rows, 0);
+    d.sanitize();
+    d
+}
+
+/// The paper's Table II in microcosm: predictor forward vs downstream CV.
+fn bench_predictor_vs_downstream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reward_source");
+    group.sample_size(10);
+    let data = dataset(400);
+    let vocab = TokenVocab::new(data.n_features());
+    let fs = FeatureSet::from_original(&data);
+    let seq = encode_feature_set(&fs.exprs, &vocab, 192);
+    let predictor = PerformancePredictor::new(vocab.size(), PredictorConfig::default(), 0);
+    group.bench_function("predictor_forward", |b| {
+        b.iter(|| std::hint::black_box(predictor.predict(&seq)))
+    });
+    let evaluator = Evaluator { folds: 5, ..Evaluator::default() };
+    group.bench_function("downstream_5fold_rf", |b| {
+        b.iter(|| std::hint::black_box(evaluator.evaluate(&data)))
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let mut rng = init::rng(1);
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen::<f64>()).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen::<f64>()).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_forward");
+    group.sample_size(20);
+    let lstm = Lstm::new(32, 32, 2, &mut init::rng(2));
+    for t in [16usize, 64, 192] {
+        let mut rng = init::rng(3);
+        let x = Matrix::from_vec(t, 32, (0..t * 32).map(|_| rng.gen::<f64>() - 0.5).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, _| {
+            bench.iter(|| std::hint::black_box(lstm.infer(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mi_and_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mi");
+    group.sample_size(20);
+    let data = dataset(500);
+    group.bench_function("relevance_scores", |b| {
+        b.iter(|| std::hint::black_box(mi::relevance_scores(&data, 12)))
+    });
+    group.bench_function("mi_cache_plus_clustering", |b| {
+        b.iter(|| {
+            let cache = cluster::MiCache::compute(&data, 12);
+            std::hint::black_box(cluster::cluster_features(&data, &cache, 1.0, 2))
+        })
+    });
+    group.finish();
+}
+
+fn bench_random_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_forest");
+    group.sample_size(10);
+    let data = dataset(400);
+    let cols: Vec<Vec<f64>> = data.features.iter().map(|col| col.values.clone()).collect();
+    let y = data.class_labels();
+    group.bench_function("fit_400x8", |b| {
+        b.iter(|| {
+            let mut rf = RandomForestClassifier::new(ForestParams::default(), 0);
+            rf.fit(&cols, &y, data.n_classes);
+            std::hint::black_box(rf)
+        })
+    });
+    group.finish();
+}
+
+fn bench_group_crossing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossing");
+    group.sample_size(20);
+    let data = dataset(500);
+    let fs = FeatureSet::from_original(&data);
+    let head: Vec<usize> = (0..4).collect();
+    let tail: Vec<usize> = (4..8).collect();
+    group.bench_function("binary_4x4", |b| {
+        b.iter(|| {
+            let mut rng = rngx::rng(5);
+            std::hint::black_box(fs.cross(&head, Op::Multiply, Some(&tail), 16, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictor_vs_downstream,
+    bench_matmul,
+    bench_lstm_forward,
+    bench_mi_and_clustering,
+    bench_random_forest,
+    bench_group_crossing
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--quick|--full]
+//! repro all [--quick|--full]
+//! repro list
+//! ```
+//!
+//! Experiments: table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10
+//! fig11 fig12 fig13 fig14 fig15.
+
+use fastft_bench::experiments;
+use fastft_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+    let scale = Scale::from_flags(quick, full);
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if ids.is_empty() || ids.contains(&"help") {
+        eprintln!("usage: repro <experiment>... [--quick|--full]");
+        eprintln!("       repro all [--quick|--full]");
+        eprintln!("experiments: {}", experiments::ALL.join(" "));
+        std::process::exit(if ids.is_empty() { 2 } else { 0 });
+    }
+    if ids.contains(&"list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let to_run: Vec<&str> = if ids.contains(&"all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids
+    };
+    eprintln!("scale: {scale:?}");
+    for id in to_run {
+        let t0 = std::time::Instant::now();
+        if !experiments::dispatch(id, scale) {
+            eprintln!("unknown experiment `{id}` — see `repro list`");
+            std::process::exit(2);
+        }
+        eprintln!("[{id}] finished in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

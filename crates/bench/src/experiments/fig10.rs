@@ -1,0 +1,45 @@
+//! Fig. 10: scalability — runtime of FASTFT vs OpenFE vs CAAFE as the
+//! dataset size (`rows × cols`) grows.
+
+use crate::report::Table;
+use crate::Scale;
+use fastft_baselines::{caafe::CaafeSim, fastft_method::FastFtMethod, openfe::OpenFe, FeatureTransformMethod};
+use fastft_tabular::datagen::{self, GenConfig};
+use fastft_tabular::{rngx, TaskType};
+
+/// Run the Fig. 10 reproduction.
+pub fn run(scale: Scale) {
+    let sizes: Vec<(usize, usize)> = match scale {
+        Scale::Quick => vec![(200, 8), (400, 10), (800, 12)],
+        Scale::Standard => vec![(500, 10), (1000, 15), (2000, 20), (4000, 25)],
+        Scale::Full => vec![(2000, 20), (8000, 40), (32000, 60), (120000, 80)],
+    };
+    let evaluator = scale.evaluator();
+    let methods: Vec<Box<dyn FeatureTransformMethod>> = vec![
+        Box::new(FastFtMethod { cfg: scale.fastft_config(0) }),
+        Box::new(OpenFe::default()),
+        Box::new(CaafeSim::default()),
+    ];
+    let mut table = Table::new(["Size (rows x cols)", "FASTFT (s)", "OpenFE (s)", "CAAFE (s)"]);
+    for (rows, cols) in sizes {
+        let mut rng = rngx::rng(7);
+        let mut data = datagen::generate_custom(
+            &format!("scale_{rows}x{cols}"),
+            TaskType::Classification,
+            rows,
+            cols,
+            2,
+            GenConfig::default(),
+            &mut rng,
+        );
+        data.sanitize();
+        let mut cells = vec![format!("{rows}x{cols} = {}", rows * cols)];
+        for method in &methods {
+            let r = method.run(&data, &evaluator, 0);
+            cells.push(format!("{:.2}", r.elapsed_secs + r.simulated_latency_secs));
+            eprintln!("[fig10] {}x{} {} done", rows, cols, method.name());
+        }
+        table.row(cells);
+    }
+    table.print("Fig. 10 — scalability: total runtime vs dataset size");
+}

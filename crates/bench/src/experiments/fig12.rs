@@ -1,0 +1,35 @@
+//! Fig. 12: the efficiency–efficacy trade-off of the downstream-trigger
+//! thresholds — sweep α (performance percentile) with β fixed at 5, and β
+//! (novelty percentile) with α fixed at 10; report evaluation time and
+//! score.
+
+use crate::report::Table;
+use crate::Scale;
+use fastft_core::{FastFt, FastFtConfig};
+
+fn sweep(scale: Scale, label: &str, settings: &[(f64, f64)]) {
+    let data = scale.load("pima_indian", 0);
+    let mut table =
+        Table::new(["alpha", "beta", "Evaluation time (s)", "Downstream evals", "Score"]);
+    for &(alpha, beta) in settings {
+        let cfg = FastFtConfig { alpha, beta, ..scale.fastft_config(0) };
+        let r = FastFt::new(cfg).fit(&data);
+        table.row([
+            format!("{alpha}"),
+            format!("{beta}"),
+            format!("{:.2}", r.telemetry.evaluation_secs),
+            format!("{}", r.telemetry.downstream_evals),
+            format!("{:.3}", r.best_score),
+        ]);
+        eprintln!("[fig12] alpha={alpha} beta={beta} done");
+    }
+    table.print(label);
+}
+
+/// Run the Fig. 12 reproduction.
+pub fn run(scale: Scale) {
+    let alphas: Vec<(f64, f64)> = [0.0, 5.0, 10.0, 20.0].iter().map(|&a| (a, 5.0)).collect();
+    sweep(scale, "Fig. 12a — performance-trigger threshold α (β = 5)", &alphas);
+    let betas: Vec<(f64, f64)> = [0.0, 5.0, 10.0, 20.0].iter().map(|&b| (10.0, b)).collect();
+    sweep(scale, "Fig. 12b — novelty-trigger threshold β (α = 10)", &betas);
+}

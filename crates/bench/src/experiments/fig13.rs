@@ -1,0 +1,67 @@
+//! Fig. 13: hyperparameter studies — novelty-reward weights (ε_s, ε_e),
+//! decay steps M and memory size S across datasets.
+
+use crate::report::{fmt_mean_std, Table};
+use crate::Scale;
+use fastft_core::{FastFt, FastFtConfig};
+
+const DATASETS: [&str; 2] = ["pima_indian", "openml_620"];
+
+fn scores(cfg: &FastFtConfig, scale: Scale, name: &str) -> Vec<f64> {
+    (0..scale.seeds())
+        .map(|seed| {
+            let data = scale.load(name, seed);
+            FastFt::new(FastFtConfig { seed, ..cfg.clone() }).fit(&data).best_score
+        })
+        .collect()
+}
+
+/// Run the Fig. 13 reproduction.
+pub fn run(scale: Scale) {
+    // (a) novelty weight (ε_s, ε_e)
+    let weights = [(0.05, 0.001), (0.10, 0.005), (0.20, 0.01), (0.50, 0.05)];
+    let mut table = Table::new(
+        std::iter::once("(eps_s, eps_e)".to_string())
+            .chain(DATASETS.iter().map(|d| d.to_string())),
+    );
+    for (s, e) in weights {
+        let mut cells = vec![format!("({s}, {e})")];
+        for name in DATASETS {
+            let cfg = FastFtConfig { eps_start: s, eps_end: e, ..scale.fastft_config(0) };
+            cells.push(fmt_mean_std(&scores(&cfg, scale, name)));
+        }
+        table.row(cells);
+        eprintln!("[fig13] weight ({s},{e}) done");
+    }
+    table.print("Fig. 13a — novelty reward weight sweep");
+
+    // (b) decay steps M
+    let mut table = Table::new(
+        std::iter::once("Decay M".to_string()).chain(DATASETS.iter().map(|d| d.to_string())),
+    );
+    for m in [100.0, 1000.0, 10000.0] {
+        let mut cells = vec![format!("{m}")];
+        for name in DATASETS {
+            let cfg = FastFtConfig { decay_m: m, ..scale.fastft_config(0) };
+            cells.push(fmt_mean_std(&scores(&cfg, scale, name)));
+        }
+        table.row(cells);
+        eprintln!("[fig13] decay {m} done");
+    }
+    table.print("Fig. 13b — novelty decay steps sweep");
+
+    // (c) memory size S
+    let mut table = Table::new(
+        std::iter::once("Memory S".to_string()).chain(DATASETS.iter().map(|d| d.to_string())),
+    );
+    for s in [8usize, 16, 32, 64] {
+        let mut cells = vec![format!("{s}")];
+        for name in DATASETS {
+            let cfg = FastFtConfig { memory_size: s, ..scale.fastft_config(0) };
+            cells.push(fmt_mean_std(&scores(&cfg, scale, name)));
+        }
+        table.row(cells);
+        eprintln!("[fig13] memory {s} done");
+    }
+    table.print("Fig. 13c — replay memory size sweep");
+}

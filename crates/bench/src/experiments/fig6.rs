@@ -1,0 +1,38 @@
+//! Fig. 6: ablation of the Performance Predictor (−PP), Replay Critical
+//! Transformation (−RCT) and Novelty Estimator (−NE) across four datasets.
+
+use crate::report::{fmt_mean_std, Table};
+use crate::Scale;
+use fastft_core::{FastFt, FastFtConfig};
+
+const DATASETS: [&str; 4] = ["pima_indian", "wine_quality_red", "openml_589", "thyroid"];
+
+fn score(cfg: FastFtConfig, scale: Scale, name: &str) -> Vec<f64> {
+    (0..scale.seeds())
+        .map(|seed| {
+            let data = scale.load(name, seed);
+            FastFt::new(FastFtConfig { seed, ..cfg.clone() }).fit(&data).best_score
+        })
+        .collect()
+}
+
+/// Run the Fig. 6 reproduction.
+pub fn run(scale: Scale) {
+    let mut table = Table::new(["Dataset", "FASTFT", "FASTFT-PP", "FASTFT-RCT", "FASTFT-NE"]);
+    for name in DATASETS {
+        let base = scale.fastft_config(0);
+        let full = score(base.clone(), scale, name);
+        let no_pp = score(base.clone().without_predictor(), scale, name);
+        let no_rct = score(base.clone().without_critical_replay(), scale, name);
+        let no_ne = score(base.without_novelty(), scale, name);
+        table.row([
+            name.to_string(),
+            fmt_mean_std(&full),
+            fmt_mean_std(&no_pp),
+            fmt_mean_std(&no_rct),
+            fmt_mean_std(&no_ne),
+        ]);
+        eprintln!("[fig6] {name} done");
+    }
+    table.print("Fig. 6 — ablation of PP / RCT / NE (best downstream score)");
+}

@@ -1,0 +1,37 @@
+//! Fig. 7: the RL-framework comparison — actor-critic vs DQN / DDQN /
+//! DuelingDQN / DuelingDDQN learning curves (best-so-far score per
+//! episode).
+
+use crate::report::Table;
+use crate::Scale;
+use fastft_core::{FastFt, FastFtConfig, RlKind};
+use fastft_rl::QKind;
+
+/// Run the Fig. 7 reproduction.
+pub fn run(scale: Scale) {
+    let name = "pima_indian";
+    let data = scale.load(name, 0);
+    let frameworks: Vec<(&str, RlKind)> = std::iter::once(("Actor-Critic", RlKind::ActorCritic))
+        .chain(QKind::ALL.into_iter().map(|q| (q.label(), RlKind::Q(q))))
+        .collect();
+    let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (label, rl) in frameworks {
+        let cfg = FastFtConfig { rl, ..scale.fastft_config(0) };
+        let r = FastFt::new(cfg).fit(&data);
+        eprintln!("[fig7] {label}: final best {:.3}", r.best_score);
+        curves.push((label, r.episode_best));
+    }
+    let episodes = curves[0].1.len();
+    let mut table = Table::new(
+        std::iter::once("Episode".to_string()).chain(curves.iter().map(|(l, _)| l.to_string())),
+    );
+    let stride = (episodes / 10).max(1);
+    for ep in (0..episodes).step_by(stride).chain(std::iter::once(episodes - 1)) {
+        let mut cells = vec![format!("{ep}")];
+        for (_, c) in &curves {
+            cells.push(format!("{:.3}", c[ep]));
+        }
+        table.row(cells);
+    }
+    table.print(&format!("Fig. 7 — RL framework learning curves ({name}, best-so-far)"));
+}

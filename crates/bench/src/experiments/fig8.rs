@@ -1,0 +1,37 @@
+//! Fig. 8: sequential-model ablation — LSTM vs Transformer (FASTFTᵀ) vs
+//! RNN (FASTFTᴿ) as the evaluation-component encoder: downstream
+//! performance and component (estimation) time.
+
+use crate::report::Table;
+use crate::Scale;
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_nn::EncoderKind;
+
+/// Run the Fig. 8 reproduction.
+pub fn run(scale: Scale) {
+    // The paper's trio plus a GRU extension row (marked in EXPERIMENTS.md).
+    let encoders = [
+        EncoderKind::Lstm { layers: 2 },
+        EncoderKind::Rnn { layers: 2 },
+        EncoderKind::Gru { layers: 2 },
+        EncoderKind::Transformer { heads: 2, blocks: 1 },
+    ];
+    let mut table =
+        Table::new(["Dataset", "Encoder", "Score", "Estimation time", "Overall time"]);
+    for name in ["pima_indian", "openml_620"] {
+        let data = scale.load(name, 0);
+        for enc in encoders {
+            let cfg = FastFtConfig { encoder: enc, ..scale.fastft_config(0) };
+            let r = FastFt::new(cfg).fit(&data);
+            table.row([
+                name.to_string(),
+                enc.label().to_string(),
+                format!("{:.3}", r.best_score),
+                format!("{:.2}s", r.telemetry.estimation_secs),
+                format!("{:.2}s", r.telemetry.total_secs),
+            ]);
+            eprintln!("[fig8] {name}/{} done", enc.label());
+        }
+    }
+    table.print("Fig. 8 — sequence-encoder ablation (FASTFT / FASTFT-R / FASTFT-T)");
+}

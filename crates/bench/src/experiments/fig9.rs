@@ -1,0 +1,32 @@
+//! Fig. 9: downstream performance vs total runtime for every method —
+//! the scatter showing FASTFT in the good corner (high score, low time).
+
+use super::methods::lineup;
+use crate::report::Table;
+use crate::Scale;
+
+/// Run the Fig. 9 reproduction.
+pub fn run(scale: Scale) {
+    for name in ["pima_indian", "wine_quality_red"] {
+        let data = scale.load(name, 0);
+        let evaluator = scale.evaluator();
+        let mut table = Table::new(["Method", "Score", "Time (s)", "Downstream evals"]);
+        let mut rows: Vec<(String, f64, f64, usize)> = Vec::new();
+        for method in lineup(scale) {
+            let r = method.run(&data, &evaluator, 0);
+            rows.push((
+                r.name.to_string(),
+                r.score,
+                r.elapsed_secs + r.simulated_latency_secs,
+                r.downstream_evals,
+            ));
+            eprintln!("[fig9] {name}/{} done", method.name());
+        }
+        // Sort by score so the winner is at the top.
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (n, s, t, e) in rows {
+            table.row([n, format!("{s:.3}"), format!("{t:.2}"), format!("{e}")]);
+        }
+        table.print(&format!("Fig. 9 — performance vs time ({name})"));
+    }
+}

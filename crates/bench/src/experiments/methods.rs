@@ -1,0 +1,49 @@
+//! Scale-adjusted method line-ups shared by the comparative experiments.
+
+use crate::Scale;
+use fastft_baselines::{
+    aft::Aft, caafe::CaafeSim, common::Budget, difer::Difer, expansion::{Erg, Rfg},
+    fastft_method::FastFtMethod, grfg::Grfg, lda::Lda, nfs::Nfs, openfe::OpenFe, ttg::Ttg,
+    FeatureTransformMethod,
+};
+
+/// The Table I line-up (ten baselines + FASTFT), with iteration budgets
+/// scaled so every method gets a comparable number of downstream
+/// evaluations at the chosen scale.
+pub fn lineup(scale: Scale) -> Vec<Box<dyn FeatureTransformMethod>> {
+    let rounds = match scale {
+        Scale::Quick => 4,
+        Scale::Standard => 8,
+        Scale::Full => 20,
+    };
+    let budget = Budget { rounds, per_round: 8 };
+    // GRFG gets the same exploration budget as FASTFT (the paper runs both
+    // at 200 episodes x 15 steps); its cost difference then comes purely
+    // from evaluating every step downstream.
+    let grfg_episodes = scale.episodes();
+    vec![
+        Box::new(Rfg { budget, ..Rfg::default() }),
+        Box::new(Erg::default()),
+        Box::new(Lda::default()),
+        Box::new(Aft { budget, ..Aft::default() }),
+        Box::new(Nfs { episodes: rounds, ..Nfs::default() }),
+        Box::new(Ttg { expansions: rounds / 2 + 1, ..Ttg::default() }),
+        Box::new(Difer { rounds, ..Difer::default() }),
+        Box::new(OpenFe::default()),
+        Box::new(CaafeSim { calls: rounds, ..CaafeSim::default() }),
+        Box::new(Grfg { episodes: grfg_episodes, steps_per_episode: scale.steps() }),
+        Box::new(FastFtMethod { cfg: scale.fastft_config(0) }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_has_eleven_methods_ending_in_fastft() {
+        let m = lineup(Scale::Quick);
+        assert_eq!(m.len(), 11);
+        assert_eq!(m.last().unwrap().name(), "FASTFT");
+    }
+}

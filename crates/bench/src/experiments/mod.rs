@@ -1,0 +1,50 @@
+//! One module per paper artifact; each exposes `run(scale)` printing the
+//! same rows/series the paper reports (see DESIGN.md §3 for the index).
+
+pub mod ext_noise;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod methods;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::Scale;
+
+/// All experiment ids in paper order.
+pub const ALL: [&str; 15] = [
+    "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "ext_noise",
+];
+
+/// Dispatch an experiment by id. Returns `false` for unknown ids.
+pub fn dispatch(id: &str, scale: Scale) -> bool {
+    match id {
+        "table1" => table1::run(scale),
+        "table2" => table2::run(scale),
+        "table3" => table3::run(scale),
+        "table4" => table4::run(scale),
+        "fig6" => fig6::run(scale),
+        "fig7" => fig7::run(scale),
+        "fig8" => fig8::run(scale),
+        "fig9" => fig9::run(scale),
+        "fig10" => fig10::run(scale),
+        "fig11" => fig11::run(scale),
+        "fig12" => fig12::run(scale),
+        "fig13" => fig13::run(scale),
+        "fig14" => fig14::run(scale),
+        "fig15" => fig15::run(scale),
+        "ext_noise" => ext_noise::run(scale),
+        _ => return false,
+    }
+    true
+}

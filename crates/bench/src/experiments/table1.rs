@@ -1,0 +1,58 @@
+//! Table I: overall performance of 11 methods across the benchmark
+//! datasets (F1 for classification, 1-RAE for regression, AUC for
+//! detection), with the paired t-test row comparing FASTFT against every
+//! baseline.
+
+use super::methods::lineup;
+use crate::report::{fmt_mean_std, mean_std, Table};
+use crate::Scale;
+use fastft_tabular::datagen;
+use fastft_tabular::metrics::paired_t_test;
+
+/// Run the Table I reproduction.
+pub fn run(scale: Scale) {
+    let datasets = scale.dataset_subset();
+    let evaluator = scale.evaluator();
+    let methods = lineup(scale);
+    let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+
+    let mut table = Table::new(
+        std::iter::once("Dataset".to_string())
+            .chain(std::iter::once("Task".to_string()))
+            .chain(names.iter().map(|n| n.to_string())),
+    );
+    // per-method mean scores per dataset, for the t-test row.
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+
+    for name in &datasets {
+        let spec = datagen::by_name(name).expect("catalog dataset");
+        let mut cells = vec![name.to_string(), spec.task.code().to_string()];
+        for (mi, method) in methods.iter().enumerate() {
+            let mut scores = Vec::new();
+            for seed in 0..scale.seeds() {
+                let data = scale.load(name, seed);
+                let r = method.run(&data, &evaluator, seed);
+                scores.push(r.score);
+            }
+            let (mean, _) = mean_std(&scores);
+            per_method[mi].push(mean);
+            cells.push(fmt_mean_std(&scores));
+        }
+        table.row(cells);
+        eprintln!("[table1] {name} done");
+    }
+    table.print("Table I — overall performance (mean±std over seeds)");
+
+    // t-stat / p-value rows: FASTFT (last column) vs each baseline.
+    let fastft = per_method.last().expect("lineup nonempty").clone();
+    let mut stats = Table::new(["Baseline", "T-stat", "P-value"]);
+    for (mi, name) in names.iter().enumerate().take(methods.len() - 1) {
+        if per_method[mi].len() < 2 {
+            stats.row([name.to_string(), "n/a".into(), "n/a".into()]);
+            continue;
+        }
+        let (t, p) = paired_t_test(&fastft, &per_method[mi]);
+        stats.row([name.to_string(), format!("{t:.3}"), format!("{p:.3e}")]);
+    }
+    stats.print("Table I — FASTFT vs baselines (paired t-test over datasets)");
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness reproducing every table and figure of the paper.
+//!
+//! The `repro` binary exposes one subcommand per artifact (`table1` …
+//! `fig15`); each prints the same rows/series the paper reports. Absolute
+//! numbers differ from the paper's A100 testbed — the *shape* (who wins, by
+//! roughly what factor, where crossovers fall) is the reproduction target;
+//! see EXPERIMENTS.md for the recorded comparison.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use report::Table;
+pub use scale::Scale;

@@ -1,0 +1,142 @@
+//! Experiment scaling: the paper runs 200 episodes × 5 seeds on an A100
+//! server; the harness defaults are laptop-minutes and `--quick` is
+//! CI-seconds. `--full` approaches the paper's protocol.
+
+use fastft_core::FastFtConfig;
+use fastft_ml::Evaluator;
+use fastft_tabular::{datagen, Dataset};
+
+/// Harness effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-scale: tiny row caps, one seed, few episodes.
+    Quick,
+    /// Laptop-scale default.
+    Standard,
+    /// Paper-scale protocol (hours).
+    Full,
+}
+
+impl Scale {
+    /// Parse from CLI flags.
+    pub fn from_flags(quick: bool, full: bool) -> Scale {
+        match (quick, full) {
+            (true, _) => Scale::Quick,
+            (_, true) => Scale::Full,
+            _ => Scale::Standard,
+        }
+    }
+
+    /// Row cap applied to generated datasets.
+    pub fn row_cap(self) -> usize {
+        match self {
+            Scale::Quick => 300,
+            Scale::Standard => 500,
+            Scale::Full => usize::MAX,
+        }
+    }
+
+    /// Independent seeds per cell (paper: 5).
+    pub fn seeds(self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Standard => 2,
+            Scale::Full => 5,
+        }
+    }
+
+    /// FASTFT episode budget (paper: 200).
+    pub fn episodes(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Standard => 14,
+            Scale::Full => 200,
+        }
+    }
+
+    /// Steps per episode (paper: 15).
+    pub fn steps(self) -> usize {
+        match self {
+            Scale::Quick => 6,
+            Scale::Standard => 8,
+            Scale::Full => 15,
+        }
+    }
+
+    /// Cold-start episodes (paper: 10).
+    pub fn cold_start(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Standard => 4,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Dataset names exercised by the multi-dataset experiments.
+    pub fn dataset_subset(self) -> Vec<&'static str> {
+        match self {
+            Scale::Quick => vec!["pima_indian", "openml_620", "thyroid"],
+            Scale::Standard => vec![
+                "pima_indian",
+                "cardiovascular",
+                "wine_quality_red",
+                "openml_589",
+                "openml_620",
+                "thyroid",
+                "mammography",
+            ],
+            Scale::Full => datagen::PAPER_CATALOG.iter().map(|s| s.name).collect(),
+        }
+    }
+
+    /// The FASTFT configuration at this scale for a given seed.
+    pub fn fastft_config(self, seed: u64) -> FastFtConfig {
+        FastFtConfig {
+            episodes: self.episodes(),
+            steps_per_episode: self.steps(),
+            cold_start_episodes: self.cold_start(),
+            retrain_every: 5.min(self.episodes().saturating_sub(1)).max(1),
+            evaluator: self.evaluator(),
+            seed,
+            ..FastFtConfig::default()
+        }
+    }
+
+    /// Downstream evaluator at this scale.
+    pub fn evaluator(self) -> Evaluator {
+        Evaluator { folds: if self == Scale::Quick { 3 } else { 5 }, ..Evaluator::default() }
+    }
+
+    /// Generate the capped, sanitised analog of a catalog dataset.
+    pub fn load(self, name: &str, seed: u64) -> Dataset {
+        let spec = datagen::by_name(name)
+            .unwrap_or_else(|| panic!("unknown dataset `{name}`"));
+        let mut d = datagen::generate_capped(spec, self.row_cap(), seed);
+        d.sanitize();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_resolve() {
+        assert_eq!(Scale::from_flags(true, false), Scale::Quick);
+        assert_eq!(Scale::from_flags(false, true), Scale::Full);
+        assert_eq!(Scale::from_flags(false, false), Scale::Standard);
+        assert_eq!(Scale::from_flags(true, true), Scale::Quick);
+    }
+
+    #[test]
+    fn quick_loads_are_small() {
+        let d = Scale::Quick.load("albert", 0);
+        assert!(d.n_rows() <= 300);
+    }
+
+    #[test]
+    fn full_subset_is_whole_catalog() {
+        assert_eq!(Scale::Full.dataset_subset().len(), 24);
+    }
+}

@@ -1,0 +1,338 @@
+//! Implementation of the `fastft` command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `run`      — search for a feature set on a CSV dataset, print a report
+//!   and save the traceable expressions.
+//! - `apply`    — apply a saved feature set to a CSV, writing the
+//!   transformed CSV.
+//! - `generate` — emit a synthetic benchmark analog as CSV.
+//! - `datasets` — list the built-in benchmark analogs.
+//!
+//! All argument parsing is dependency-free (`--flag value` pairs only).
+
+use fastft_core::report::{apply_feature_set, load_feature_set, save_feature_set, summary};
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_ml::Evaluator;
+use fastft_tabular::{csvio, datagen, impute, TaskType};
+use std::path::{Path, PathBuf};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fastft run --data x.csv --task classification [--classes N]
+    /// [--episodes N] [--steps N] [--seed N] [--out features.txt]`
+    Run {
+        /// Input CSV (last column = target).
+        data: PathBuf,
+        /// Task type.
+        task: TaskType,
+        /// Class count for discrete tasks.
+        classes: usize,
+        /// Episode budget.
+        episodes: usize,
+        /// Steps per episode.
+        steps: usize,
+        /// Seed.
+        seed: u64,
+        /// Where to save the feature set (optional).
+        out: Option<PathBuf>,
+    },
+    /// `fastft apply --data x.csv --features features.txt --task t
+    /// [--classes N] --out transformed.csv`
+    Apply {
+        /// Input CSV.
+        data: PathBuf,
+        /// Saved feature-set file.
+        features: PathBuf,
+        /// Task type.
+        task: TaskType,
+        /// Class count for discrete tasks.
+        classes: usize,
+        /// Output CSV path.
+        out: PathBuf,
+    },
+    /// `fastft generate --name pima_indian [--rows N] [--seed N] --out x.csv`
+    Generate {
+        /// Catalog dataset name.
+        name: String,
+        /// Row cap.
+        rows: usize,
+        /// Seed.
+        seed: u64,
+        /// Output CSV path.
+        out: PathBuf,
+    },
+    /// `fastft datasets`
+    Datasets,
+    /// `fastft help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fastft — reinforced feature transformation (FASTFT, ICDE 2025)
+
+USAGE:
+  fastft run      --data <csv> --task <classification|regression|detection>
+                  [--classes N] [--episodes N] [--steps N] [--seed N]
+                  [--out features.txt]
+  fastft apply    --data <csv> --features <file> --task <t> [--classes N]
+                  --out <csv>
+  fastft generate --name <dataset> [--rows N] [--seed N] --out <csv>
+  fastft datasets
+  fastft help
+
+CSV format: numeric columns with a header row; the last column is the target.
+";
+
+fn parse_task(s: &str) -> Result<TaskType, String> {
+    match s {
+        "classification" | "c" | "C" => Ok(TaskType::Classification),
+        "regression" | "r" | "R" => Ok(TaskType::Regression),
+        "detection" | "d" | "D" => Ok(TaskType::Detection),
+        other => Err(format!("unknown task `{other}` (classification|regression|detection)")),
+    }
+}
+
+/// Parse `argv[1..]` into a [`Command`].
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    let get = |k: &str| -> Result<String, String> {
+        flags.get(k).cloned().ok_or_else(|| format!("missing required --{k}"))
+    };
+    let get_or = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
+    let parse_usize = |k: &str, default: usize| -> Result<usize, String> {
+        match flags.get(k) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{k}: {e}")),
+        }
+    };
+    match cmd.as_str() {
+        "run" => Ok(Command::Run {
+            data: PathBuf::from(get("data")?),
+            task: parse_task(&get("task")?)?,
+            classes: parse_usize("classes", 2)?,
+            episodes: parse_usize("episodes", 12)?,
+            steps: parse_usize("steps", 8)?,
+            seed: parse_usize("seed", 0)? as u64,
+            out: flags.get("out").map(PathBuf::from),
+        }),
+        "apply" => Ok(Command::Apply {
+            data: PathBuf::from(get("data")?),
+            features: PathBuf::from(get("features")?),
+            task: parse_task(&get("task")?)?,
+            classes: parse_usize("classes", 2)?,
+            out: PathBuf::from(get("out")?),
+        }),
+        "generate" => Ok(Command::Generate {
+            name: get("name")?,
+            rows: parse_usize("rows", usize::MAX)?,
+            seed: parse_usize("seed", 0)? as u64,
+            out: PathBuf::from(get_or("out", "dataset.csv")),
+        }),
+        "datasets" => Ok(Command::Datasets),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command `{other}`; see `fastft help`")),
+    }
+}
+
+/// Execute a command, writing human output to stdout. Returns an error
+/// message on failure (the binary maps it to exit code 1).
+pub fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Datasets => {
+            for s in &datagen::PAPER_CATALOG {
+                println!(
+                    "{:<20} {:<9} {:>7} rows x {:>3} cols  ({})",
+                    s.name,
+                    s.task.to_string(),
+                    s.rows,
+                    s.cols,
+                    s.source
+                );
+            }
+            Ok(())
+        }
+        Command::Generate { name, rows, seed, out } => {
+            let spec =
+                datagen::by_name(&name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            let data = datagen::generate_capped(spec, rows, seed);
+            csvio::write_csv(&data, &out).map_err(|e| e.to_string())?;
+            println!("wrote {} rows x {} cols to {}", data.n_rows(), data.n_features(), out.display());
+            Ok(())
+        }
+        Command::Run { data, task, classes, episodes, steps, seed, out } => {
+            let mut d = load_csv(&data, task, classes)?;
+            impute::impute(&mut d, impute::ImputeStrategy::Median);
+            d.sanitize();
+            println!(
+                "loaded {}: {} rows x {} cols ({task})",
+                data.display(),
+                d.n_rows(),
+                d.n_features()
+            );
+            let cfg = FastFtConfig {
+                episodes,
+                steps_per_episode: steps,
+                cold_start_episodes: (episodes / 4).max(1),
+                seed,
+                evaluator: Evaluator::default(),
+                ..FastFtConfig::quick()
+            };
+            let result = FastFt::new(cfg).fit(&d);
+            print!("{}", summary(&result));
+            if let Some(out) = out {
+                std::fs::write(&out, save_feature_set(&result.best_exprs))
+                    .map_err(|e| e.to_string())?;
+                println!("feature set saved to {}", out.display());
+            }
+            Ok(())
+        }
+        Command::Apply { data, features, task, classes, out } => {
+            let mut d = load_csv(&data, task, classes)?;
+            impute::impute(&mut d, impute::ImputeStrategy::Median);
+            d.sanitize();
+            let text = std::fs::read_to_string(&features).map_err(|e| e.to_string())?;
+            let exprs = load_feature_set(&text)?;
+            let transformed = apply_feature_set(&d, &exprs)?;
+            csvio::write_csv(&transformed, &out).map_err(|e| e.to_string())?;
+            println!(
+                "applied {} features to {} rows; wrote {}",
+                exprs.len(),
+                transformed.n_rows(),
+                out.display()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn load_csv(path: &Path, task: TaskType, classes: usize) -> Result<fastft_tabular::Dataset, String> {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".into());
+    let classes = if task == TaskType::Regression { 0 } else { classes.max(2) };
+    csvio::read_csv(path, &name, task, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_command() {
+        let cmd = parse_args(&argv(
+            "run --data x.csv --task classification --episodes 5 --seed 3 --out f.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                data: PathBuf::from("x.csv"),
+                task: TaskType::Classification,
+                classes: 2,
+                episodes: 5,
+                steps: 8,
+                seed: 3,
+                out: Some(PathBuf::from("f.txt")),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_task_aliases() {
+        assert_eq!(parse_task("r").unwrap(), TaskType::Regression);
+        assert_eq!(parse_task("D").unwrap(), TaskType::Detection);
+        assert!(parse_task("x").is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_is_error() {
+        let err = parse_args(&argv("run --task classification")).unwrap_err();
+        assert!(err.contains("--data"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_then_run_then_apply_end_to_end() {
+        let dir = std::env::temp_dir().join("fastft_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pima.csv");
+        let feats = dir.join("features.txt");
+        let out = dir.join("transformed.csv");
+
+        execute(Command::Generate {
+            name: "pima_indian".into(),
+            rows: 120,
+            seed: 0,
+            out: csv.clone(),
+        })
+        .unwrap();
+        assert!(csv.exists());
+
+        execute(Command::Run {
+            data: csv.clone(),
+            task: TaskType::Classification,
+            classes: 2,
+            episodes: 2,
+            steps: 2,
+            seed: 0,
+            out: Some(feats.clone()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&feats).unwrap();
+        assert!(!text.trim().is_empty());
+
+        execute(Command::Apply {
+            data: csv.clone(),
+            features: feats.clone(),
+            task: TaskType::Classification,
+            classes: 2,
+            out: out.clone(),
+        })
+        .unwrap();
+        let transformed =
+            csvio::read_csv(&out, "t", TaskType::Classification, 2).unwrap();
+        assert_eq!(transformed.n_rows(), 120);
+        for p in [csv, feats, out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn datasets_and_help_execute() {
+        execute(Command::Datasets).unwrap();
+        execute(Command::Help).unwrap();
+    }
+}

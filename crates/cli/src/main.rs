@@ -1,0 +1,16 @@
+//! `fastft` binary entry point; logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match fastft_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", fastft_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = fastft_cli::execute(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

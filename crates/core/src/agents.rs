@@ -1,0 +1,284 @@
+//! The cascading multi-agent system (Definition 3, Fig. 3d).
+//!
+//! Three agents act in sequence — head cluster, operation, tail cluster —
+//! each conditioning on the previous selections through its candidate
+//! vectors (see [`crate::state`]). The default learner is actor-critic with
+//! a shared critic over `Rep(F̂)` (Eq. 9); the DQN family backs the Fig. 7
+//! ablation.
+
+use crate::state::{HEAD_DIM, OP_DIM, TAIL_DIM};
+use fastft_rl::actor_critic::{Actor, Critic};
+use fastft_rl::dqn::{QAgent, QKind};
+use fastft_rl::schedule::LinearDecay;
+use rand::rngs::StdRng;
+
+/// Which reinforcement-learning framework drives the cascading agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RlKind {
+    /// Actor-critic (the paper's framework).
+    ActorCritic,
+    /// One of the Q-learning variants (Fig. 7 ablation).
+    Q(QKind),
+}
+
+/// Which of the three cascading decisions a candidate set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Head feature-cluster selection.
+    Head,
+    /// Operation selection.
+    Op,
+    /// Tail feature-cluster selection (binary ops only).
+    Tail,
+}
+
+/// One remembered decision: the candidate set shown to an agent and the
+/// index it chose.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Candidate vectors at selection time.
+    pub candidates: Vec<Vec<f64>>,
+    /// Chosen index.
+    pub action: usize,
+}
+
+/// A full memory unit `m = <s, a, r, s', T, v>` (§III-D "Memory
+/// Collection") — the three decisions plus reward, state pair, the token
+/// sequence and its (estimated or evaluated) performance.
+#[derive(Debug, Clone)]
+pub struct MemoryUnit {
+    /// `Rep(F̂)` before the step.
+    pub state: Vec<f64>,
+    /// `Rep(F̂)` after the step.
+    pub next_state: Vec<f64>,
+    /// Step reward (Eq. 5 or Eq. 6).
+    pub reward: f64,
+    /// Head decision.
+    pub head: Decision,
+    /// Operation decision.
+    pub op: Decision,
+    /// Tail decision (binary ops only).
+    pub tail: Option<Decision>,
+    /// Head-agent candidates of the *next* step (empty at episode end) —
+    /// used by the Q-family bootstrap.
+    pub next_head_candidates: Vec<Vec<f64>>,
+    /// Transformation token sequence after the step.
+    pub seq: Vec<usize>,
+    /// Performance associated with the sequence.
+    pub perf: f64,
+}
+
+// One instance per engine run; the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Learner {
+    Ac { head: Actor, op: Actor, tail: Actor, critic: Critic },
+    Q(Box<QTriple>),
+}
+
+struct QTriple {
+    head: QAgent,
+    op: QAgent,
+    tail: QAgent,
+    eps: LinearDecay,
+    step: usize,
+}
+
+/// The cascading agent system.
+pub struct CascadingAgents {
+    learner: Learner,
+    /// Discount factor γ.
+    pub gamma: f64,
+}
+
+impl CascadingAgents {
+    /// Build a system with the given framework and hidden width.
+    pub fn new(kind: RlKind, hidden: usize, lr: f64, seed: u64) -> Self {
+        let learner = match kind {
+            RlKind::ActorCritic => Learner::Ac {
+                head: Actor::new(HEAD_DIM, hidden, lr, seed),
+                op: Actor::new(OP_DIM, hidden, lr, seed.wrapping_add(1)),
+                tail: Actor::new(TAIL_DIM, hidden, lr, seed.wrapping_add(2)),
+                critic: Critic::new(crate::state::CLUSTER_REP_DIM, hidden, lr, seed.wrapping_add(3)),
+            },
+            RlKind::Q(q) => Learner::Q(Box::new(QTriple {
+                head: QAgent::new(q, HEAD_DIM, hidden, lr, seed),
+                op: QAgent::new(q, OP_DIM, hidden, lr, seed.wrapping_add(1)),
+                tail: QAgent::new(q, TAIL_DIM, hidden, lr, seed.wrapping_add(2)),
+                eps: LinearDecay { start: 1.0, end: 0.05, steps: 600 },
+                step: 0,
+            })),
+        };
+        CascadingAgents { learner, gamma: 0.99 }
+    }
+
+    /// Which framework is active.
+    pub fn kind(&self) -> RlKind {
+        match &self.learner {
+            Learner::Ac { .. } => RlKind::ActorCritic,
+            Learner::Q(q) => RlKind::Q(q.head.kind),
+        }
+    }
+
+    /// Select an action for `role` from its candidate set. Q-family agents
+    /// advance their ε-greedy schedule on head selections (one per step).
+    pub fn select(&mut self, role: Role, candidates: &[Vec<f64>], rng: &mut StdRng) -> usize {
+        match &mut self.learner {
+            Learner::Ac { head, op, tail, .. } => match role {
+                Role::Head => head.select(candidates, rng),
+                Role::Op => op.select(candidates, rng),
+                Role::Tail => tail.select(candidates, rng),
+            },
+            Learner::Q(q) => {
+                let e = q.eps.at(q.step);
+                match role {
+                    Role::Head => {
+                        q.step += 1;
+                        q.head.select(candidates, e, rng)
+                    }
+                    Role::Op => q.op.select(candidates, e, rng),
+                    Role::Tail => q.tail.select(candidates, e, rng),
+                }
+            }
+        }
+    }
+
+    /// State value used for TD errors. Q-family agents bootstrap from the
+    /// head Q-network, so pass the next head candidates; actor-critic uses
+    /// the shared critic on `Rep(F̂)`.
+    pub fn state_value(&self, state: &[f64], head_candidates: &[Vec<f64>]) -> f64 {
+        match &self.learner {
+            Learner::Ac { critic, .. } => critic.value(state),
+            Learner::Q(q) => {
+                if head_candidates.is_empty() {
+                    0.0
+                } else {
+                    let qs = q.head.q_values(head_candidates);
+                    qs.iter().cloned().fold(f64::MIN, f64::max)
+                }
+            }
+        }
+    }
+
+    /// TD error `δ = r + γ·V(s') − V(s)` for a memory unit (the Eq. 10
+    /// priority).
+    pub fn td_error(&self, mem: &MemoryUnit) -> f64 {
+        let v_next = self.state_value(&mem.next_state, &mem.next_head_candidates);
+        let v = self.state_value(&mem.state, &mem.head.candidates);
+        mem.reward + self.gamma * v_next - v
+    }
+
+    /// One optimisation step from a (replayed) memory unit: actor-critic
+    /// updates all three actors with the shared advantage and regresses the
+    /// critic (Eq. 9); Q agents update toward their TD targets, with the
+    /// head network bootstrapping from the next step's head candidates and
+    /// the op/tail networks treated one-step (their "next state" is the
+    /// *within-step* cascade, whose value the shared reward already
+    /// reflects — a simplification documented in DESIGN.md).
+    pub fn learn(&mut self, mem: &MemoryUnit) {
+        match &mut self.learner {
+            Learner::Ac { head, op, tail, critic } => {
+                let v_next = critic.value(&mem.next_state);
+                let target = mem.reward + self.gamma * v_next;
+                let advantage = target - critic.value(&mem.state);
+                head.update(&mem.head.candidates, mem.head.action, advantage);
+                op.update(&mem.op.candidates, mem.op.action, advantage);
+                if let Some(t) = &mem.tail {
+                    tail.update(&t.candidates, t.action, advantage);
+                }
+                critic.update(&mem.state, target);
+            }
+            Learner::Q(q) => {
+                let target = q.head.td_target(mem.reward, &mem.next_head_candidates);
+                q.head.update(&mem.head.candidates, mem.head.action, target);
+                q.op.update(&mem.op.candidates, mem.op.action, mem.reward);
+                if let Some(t) = &mem.tail {
+                    q.tail.update(&t.candidates, t.action, mem.reward);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::rngx;
+
+    fn dummy_mem(reward: f64) -> MemoryUnit {
+        let head = Decision { candidates: vec![vec![0.1; HEAD_DIM], vec![0.2; HEAD_DIM]], action: 1 };
+        let op = Decision { candidates: vec![vec![0.1; OP_DIM]; 3], action: 0 };
+        let tail = Some(Decision { candidates: vec![vec![0.3; TAIL_DIM]; 2], action: 0 });
+        MemoryUnit {
+            state: vec![0.0; crate::state::CLUSTER_REP_DIM],
+            next_state: vec![1.0; crate::state::CLUSTER_REP_DIM],
+            reward,
+            head,
+            op,
+            tail,
+            next_head_candidates: vec![vec![0.1; HEAD_DIM]],
+            seq: vec![0, 1],
+            perf: 0.5,
+        }
+    }
+
+    #[test]
+    fn select_returns_valid_indices_for_all_kinds() {
+        let mut rng = rngx::rng(1);
+        for kind in [
+            RlKind::ActorCritic,
+            RlKind::Q(QKind::Dqn),
+            RlKind::Q(QKind::DuelingDoubleDqn),
+        ] {
+            let mut agents = CascadingAgents::new(kind, 16, 0.01, 2);
+            assert_eq!(agents.kind(), kind);
+            let cands = vec![vec![0.1; HEAD_DIM]; 4];
+            for _ in 0..20 {
+                let a = agents.select(Role::Head, &cands, &mut rng);
+                assert!(a < 4);
+            }
+            let cands = vec![vec![0.1; OP_DIM]; 3];
+            assert!(agents.select(Role::Op, &cands, &mut rng) < 3);
+            let cands = vec![vec![0.1; TAIL_DIM]; 2];
+            assert!(agents.select(Role::Tail, &cands, &mut rng) < 2);
+        }
+    }
+
+    #[test]
+    fn learn_runs_for_all_kinds() {
+        for kind in [RlKind::ActorCritic, RlKind::Q(QKind::DoubleDqn), RlKind::Q(QKind::DuelingDqn)] {
+            let mut agents = CascadingAgents::new(kind, 8, 0.01, 3);
+            let mem = dummy_mem(1.0);
+            for _ in 0..5 {
+                agents.learn(&mem);
+            }
+            // TD error stays finite after updates.
+            assert!(agents.td_error(&mem).is_finite());
+        }
+    }
+
+    #[test]
+    fn positive_reward_increases_action_probability() {
+        let mut agents = CascadingAgents::new(RlKind::ActorCritic, 16, 0.05, 4);
+        let mem = dummy_mem(5.0);
+        let before = match &agents.learner {
+            Learner::Ac { head, .. } => head.policy(&mem.head.candidates)[mem.head.action],
+            _ => unreachable!(),
+        };
+        for _ in 0..30 {
+            agents.learn(&mem);
+        }
+        let after = match &agents.learner {
+            Learner::Ac { head, .. } => head.policy(&mem.head.candidates)[mem.head.action],
+            _ => unreachable!(),
+        };
+        assert!(after > before, "π(a) before {before}, after {after}");
+    }
+
+    #[test]
+    fn td_error_uses_reward() {
+        let agents = CascadingAgents::new(RlKind::ActorCritic, 8, 0.01, 5);
+        let lo = agents.td_error(&dummy_mem(0.0));
+        let hi = agents.td_error(&dummy_mem(10.0));
+        assert!((hi - lo - 10.0).abs() < 1e-9);
+    }
+}

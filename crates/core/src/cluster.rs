@@ -1,0 +1,182 @@
+//! Incremental MI-based feature clustering (Eq. 2).
+//!
+//! Agglomerative merging: every feature starts as its own cluster, the two
+//! closest clusters merge each step, and merging stops once the minimum
+//! pairwise distance exceeds a threshold. The distance between clusters is
+//! the mean over cross-pairs of `|MI(F_i,y) − MI(F_j,y)| / (MI(F_i,F_j) + ς)`
+//! — features with similar label-relevance and high mutual redundancy are
+//! close.
+
+use fastft_tabular::mi;
+use fastft_tabular::Dataset;
+
+/// Small constant `ς` guarding the zero division in Eq. 2.
+pub const SIGMA: f64 = 1e-6;
+
+/// Pairwise feature statistics backing the cluster distance.
+#[derive(Debug, Clone)]
+pub struct MiCache {
+    /// `MI(F_j, y)` per feature.
+    pub relevance: Vec<f64>,
+    /// Dense symmetric `MI(F_i, F_j)` matrix (row-major `d × d`).
+    pub redundancy: Vec<f64>,
+    d: usize,
+}
+
+impl MiCache {
+    /// Compute all pairwise MI statistics for a dataset.
+    pub fn compute(data: &Dataset, n_bins: usize) -> Self {
+        let d = data.n_features();
+        let relevance = mi::relevance_scores(data, n_bins);
+        // Pre-bin every column once, then all pairs are discrete-MI lookups.
+        let binned: Vec<Vec<usize>> =
+            data.features.iter().map(|c| mi::quantile_bins(&c.values, n_bins)).collect();
+        let mut redundancy = vec![0.0; d * d];
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let v = mi::mi_discrete(&binned[i], &binned[j]);
+                redundancy[i * d + j] = v;
+                redundancy[j * d + i] = v;
+            }
+            redundancy[i * d + i] = mi::entropy_discrete(&binned[i]);
+        }
+        MiCache { relevance, redundancy, d }
+    }
+
+    /// `MI(F_i, F_j)`.
+    pub fn red(&self, i: usize, j: usize) -> f64 {
+        self.redundancy[i * self.d + j]
+    }
+}
+
+/// Eq. 2 distance between two clusters of feature indices.
+pub fn cluster_distance(a: &[usize], b: &[usize], cache: &MiCache) -> f64 {
+    let mut sum = 0.0;
+    for &i in a {
+        for &j in b {
+            sum += (cache.relevance[i] - cache.relevance[j]).abs() / (cache.red(i, j) + SIGMA);
+        }
+    }
+    sum / (a.len() * b.len()) as f64
+}
+
+/// Agglomeratively cluster features until the closest pair is farther than
+/// `threshold` (or until `min_clusters` remain). Returns clusters as sorted
+/// index lists, themselves sorted by first member.
+pub fn cluster_features(
+    data: &Dataset,
+    cache: &MiCache,
+    threshold: f64,
+    min_clusters: usize,
+) -> Vec<Vec<usize>> {
+    let d = data.n_features();
+    let min_clusters = min_clusters.max(1);
+    let mut clusters: Vec<Vec<usize>> = (0..d).map(|i| vec![i]).collect();
+    while clusters.len() > min_clusters {
+        // Find the closest pair.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let dist = cluster_distance(&clusters[a], &clusters[b], cache);
+                if dist < best.2 {
+                    best = (a, b, dist);
+                }
+            }
+        }
+        if best.2 > threshold {
+            break;
+        }
+        let merged = clusters.swap_remove(best.1);
+        clusters[best.0].extend(merged);
+        clusters[best.0].sort_unstable();
+    }
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::rngx;
+    use fastft_tabular::{Column, TaskType};
+
+    /// Two redundant copies of a signal plus one independent noise column.
+    fn toy() -> Dataset {
+        let mut rng = rngx::rng(1);
+        let n = 800;
+        let signal = rngx::normal_vec(&mut rng, n);
+        let copy: Vec<f64> =
+            signal.iter().map(|&s| s + 0.01 * rngx::normal(&mut rng)).collect();
+        let noise = rngx::normal_vec(&mut rng, n);
+        let y: Vec<f64> = signal.iter().map(|&s| f64::from(u8::from(s > 0.0))).collect();
+        Dataset::new(
+            "toy",
+            vec![
+                Column::new("sig", signal),
+                Column::new("copy", copy),
+                Column::new("noise", noise),
+            ],
+            y,
+            TaskType::Classification,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn redundant_features_cluster_together() {
+        let d = toy();
+        let cache = MiCache::compute(&d, 8);
+        let clusters = cluster_features(&d, &cache, 1.0, 2);
+        // sig and copy (indices 0,1) merge; noise stays separate.
+        assert!(clusters.contains(&vec![0, 1]), "{clusters:?}");
+        assert!(clusters.contains(&vec![2]), "{clusters:?}");
+    }
+
+    #[test]
+    fn zero_threshold_keeps_singletons() {
+        let d = toy();
+        let cache = MiCache::compute(&d, 8);
+        let clusters = cluster_features(&d, &cache, -1.0, 1);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn min_clusters_floor() {
+        let d = toy();
+        let cache = MiCache::compute(&d, 8);
+        let clusters = cluster_features(&d, &cache, f64::INFINITY, 2);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn clusters_partition_features() {
+        let d = toy();
+        let cache = MiCache::compute(&d, 8);
+        let clusters = cluster_features(&d, &cache, 0.5, 1);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let d = toy();
+        let cache = MiCache::compute(&d, 8);
+        let a = vec![0];
+        let b = vec![1, 2];
+        let ab = cluster_distance(&a, &b, &cache);
+        let ba = cluster_distance(&b, &a, &cache);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn redundant_pair_is_closer_than_independent_pair() {
+        let d = toy();
+        let cache = MiCache::compute(&d, 8);
+        let sig_copy = cluster_distance(&[0], &[1], &cache);
+        let sig_noise = cluster_distance(&[0], &[2], &cache);
+        assert!(sig_copy < sig_noise, "sig-copy {sig_copy} vs sig-noise {sig_noise}");
+    }
+}

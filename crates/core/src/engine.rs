@@ -1,0 +1,698 @@
+//! The FASTFT engine: cold start (Algorithm 1) and effective exploration
+//! with continual training (Algorithm 2).
+//!
+//! One [`FastFt::fit`] call runs the full pipeline on a dataset:
+//!
+//! 1. **Cold start** — the cascading agents explore with real downstream
+//!    evaluation as reward (Eq. 5), filling the replay buffer and the
+//!    evaluation-component training set.
+//! 2. **Component training** — the Performance Predictor (Eq. 3) and
+//!    Novelty Estimator (Eq. 4) train on the collected sequences.
+//! 3. **Effective exploration** — rewards come from the evaluation
+//!    components (Eq. 6); downstream evaluation only triggers for
+//!    top-α-percentile predicted performance or top-β-percentile novelty.
+//!    Critical memories replay by TD-error priority (Eq. 10), and the
+//!    components fine-tune every `retrain_every` episodes.
+
+use crate::agents::{CascadingAgents, Decision, MemoryUnit, Role};
+use crate::cluster::{cluster_features, MiCache};
+use crate::config::FastFtConfig;
+use crate::expr::Expr;
+use crate::novelty::NoveltyEstimator;
+use crate::novelty_metric::NoveltyTracker;
+use crate::ops::Op;
+use crate::predictor::{PerformancePredictor, PredictorConfig};
+use crate::sequence::{canonical_key, encode_feature_set, TokenVocab};
+use crate::state;
+use crate::transform::FeatureSet;
+use fastft_rl::schedule::ExpDecay;
+use fastft_rl::{PrioritizedReplay, UniformReplay};
+use fastft_tabular::rngx;
+use fastft_tabular::Dataset;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Per-step trace of a run (Figs. 14–15, debugging, case studies).
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Episode index.
+    pub episode: usize,
+    /// Step within the episode.
+    pub step: usize,
+    /// Reward fed to the agents.
+    pub reward: f64,
+    /// Performance associated with the step (predicted or evaluated).
+    pub score: f64,
+    /// Whether `score` came from the predictor rather than a downstream run.
+    pub predicted: bool,
+    /// RND novelty of the step's sequence (0 when the estimator is off).
+    pub novelty: f64,
+    /// §VI-H novelty distance of the feature-set embedding.
+    pub novelty_distance: f64,
+    /// Whether the feature combination was never generated before.
+    pub new_combination: bool,
+    /// Feature count after the step.
+    pub n_features: usize,
+    /// Traceable expressions added this step.
+    pub new_exprs: Vec<String>,
+}
+
+/// Wall-clock decomposition matching Table II's rows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Telemetry {
+    /// Agent/critic updates ("Optimization").
+    pub optimization_secs: f64,
+    /// Predictor/estimator forward passes and training ("Estimation").
+    pub estimation_secs: f64,
+    /// Downstream-task evaluations ("Evaluation").
+    pub evaluation_secs: f64,
+    /// Whole `fit` duration ("Overall").
+    pub total_secs: f64,
+    /// Number of downstream evaluations performed.
+    pub downstream_evals: usize,
+    /// Number of predictor/estimator inference calls.
+    pub predictor_calls: usize,
+}
+
+/// Result of a FASTFT run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Downstream score of the original feature set.
+    pub base_score: f64,
+    /// Best downstream-evaluated score found.
+    pub best_score: f64,
+    /// The dataset achieving `best_score`.
+    pub best_dataset: Dataset,
+    /// Traceable expressions of the best feature set.
+    pub best_exprs: Vec<Expr>,
+    /// Per-step trace.
+    pub records: Vec<StepRecord>,
+    /// Best-so-far downstream score after each episode (Fig. 7 curves).
+    pub episode_best: Vec<f64>,
+    /// Timing decomposition (Table II).
+    pub telemetry: Telemetry,
+}
+
+enum Memory {
+    Prioritized(PrioritizedReplay<MemoryUnit>),
+    Uniform(UniformReplay<MemoryUnit>),
+}
+
+impl Memory {
+    fn push(&mut self, mem: MemoryUnit, delta: f64) {
+        match self {
+            Memory::Prioritized(b) => b.push(mem, delta),
+            Memory::Uniform(b) => b.push(mem),
+        }
+    }
+
+    fn sample<'a>(&'a self, rng: &mut StdRng) -> Option<&'a MemoryUnit> {
+        match self {
+            Memory::Prioritized(b) => b.sample(rng),
+            Memory::Uniform(b) => b.sample(rng),
+        }
+    }
+
+    fn sample_uniform<'a>(&'a self, rng: &mut StdRng) -> Option<&'a MemoryUnit> {
+        match self {
+            Memory::Prioritized(b) => b.sample_uniform(rng),
+            Memory::Uniform(b) => b.sample(rng),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Memory::Prioritized(b) => b.len(),
+            Memory::Uniform(b) => b.len(),
+        }
+    }
+}
+
+/// The FASTFT framework.
+#[derive(Debug, Clone)]
+pub struct FastFt {
+    /// Run configuration.
+    pub cfg: FastFtConfig,
+}
+
+impl FastFt {
+    /// Create with a configuration.
+    pub fn new(cfg: FastFtConfig) -> Self {
+        FastFt { cfg }
+    }
+
+    /// Run the full pipeline on `data` and return the best transformed
+    /// dataset found, with traces and timing.
+    pub fn fit(&self, data: &Dataset) -> RunResult {
+        Run::new(&self.cfg, data).execute()
+    }
+}
+
+/// Percentile of a sample (linear interpolation, q in `[0,1]`).
+fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    fastft_tabular::stats::percentile_sorted(&sorted, q)
+}
+
+struct Run<'a> {
+    cfg: &'a FastFtConfig,
+    original: &'a Dataset,
+    vocab: TokenVocab,
+    agents: CascadingAgents,
+    predictor: PerformancePredictor,
+    novelty: NoveltyEstimator,
+    memory: Memory,
+    tracker: NoveltyTracker,
+    rng: StdRng,
+    telemetry: Telemetry,
+    // Downstream-evaluated (sequence, score) pairs for component training.
+    eval_history: Vec<(Vec<usize>, f64)>,
+    // Rolling histories for the α/β percentile triggers.
+    pred_history: Vec<f64>,
+    nov_history: Vec<f64>,
+    // Welford running stats of raw novelty, for intrinsic-reward
+    // normalisation (standard RND practice; DESIGN.md §4).
+    nov_count: usize,
+    nov_mean: f64,
+    nov_m2: f64,
+    global_step: usize,
+}
+
+impl<'a> Run<'a> {
+    fn new(cfg: &'a FastFtConfig, data: &'a Dataset) -> Self {
+        let vocab = TokenVocab::new(data.n_features());
+        let pc = PredictorConfig { dim: 32, encoder: cfg.encoder, lr: cfg.lr };
+        let mut agents = CascadingAgents::new(cfg.rl, cfg.agent_hidden, cfg.agent_lr, cfg.seed);
+        agents.gamma = cfg.gamma;
+        let memory = if cfg.prioritized_replay {
+            Memory::Prioritized(PrioritizedReplay::new(cfg.memory_size))
+        } else {
+            Memory::Uniform(UniformReplay::new(cfg.memory_size))
+        };
+        Run {
+            cfg,
+            original: data,
+            vocab,
+            agents,
+            predictor: PerformancePredictor::new(vocab.size(), pc, cfg.seed.wrapping_add(11)),
+            novelty: NoveltyEstimator::new(vocab.size(), pc, cfg.seed.wrapping_add(23)),
+            memory,
+            tracker: NoveltyTracker::new(),
+            rng: rngx::rng(cfg.seed.wrapping_add(37)),
+            telemetry: Telemetry::default(),
+            eval_history: Vec::new(),
+            pred_history: Vec::new(),
+            nov_history: Vec::new(),
+            nov_count: 0,
+            nov_mean: 0.0,
+            nov_m2: 0.0,
+            global_step: 0,
+        }
+    }
+
+    fn evaluate_downstream(&mut self, data: &Dataset) -> f64 {
+        let t0 = Instant::now();
+        let score = self.cfg.evaluator.evaluate(data);
+        self.telemetry.evaluation_secs += t0.elapsed().as_secs_f64();
+        self.telemetry.downstream_evals += 1;
+        score
+    }
+
+    /// Should this (predicted performance, novelty) pair trigger a real
+    /// downstream evaluation? (§III-D "Adaptively Adopt Two Strategies".)
+    fn trigger_downstream(&self, pred: f64, nov: f64) -> bool {
+        // Until enough history exists the percentiles are meaningless;
+        // anchor with real evaluations.
+        const WARMUP: usize = 8;
+        if self.pred_history.len() < WARMUP {
+            return self.cfg.alpha > 0.0 || self.cfg.beta > 0.0;
+        }
+        // Strict inequality: sequences are often scored identically early
+        // on, and `>=` against a tied percentile would fire on every step.
+        let by_perf = self.cfg.alpha > 0.0
+            && pred > percentile(&self.pred_history, 1.0 - self.cfg.alpha / 100.0);
+        let by_nov = self.cfg.use_novelty
+            && self.cfg.beta > 0.0
+            && nov > percentile(&self.nov_history, 1.0 - self.cfg.beta / 100.0);
+        by_perf || by_nov
+    }
+
+    /// Normalise a raw RND novelty into a differential bonus: the running
+    /// z-score, clamped to ±3. This keeps Eq. 6's novelty term on the same
+    /// scale as performance differences regardless of the frozen target's
+    /// output magnitude, and — unlike a raw magnitude — rewards *relative*
+    /// novelty: above-average novelty earns a positive bonus, familiar
+    /// territory a negative one (standard intrinsic-reward normalisation in
+    /// the RND literature; DESIGN.md §4).
+    fn normalize_novelty(&mut self, nov: f64) -> f64 {
+        self.nov_count += 1;
+        let delta = nov - self.nov_mean;
+        self.nov_mean += delta / self.nov_count as f64;
+        self.nov_m2 += delta * (nov - self.nov_mean);
+        if self.nov_count < 5 {
+            return 0.0;
+        }
+        let std = (self.nov_m2 / (self.nov_count - 1) as f64).sqrt();
+        ((nov - self.nov_mean) / (std + 1e-8)).clamp(-3.0, 3.0)
+    }
+
+    fn execute(mut self) -> RunResult {
+        let t_start = Instant::now();
+        let novelty_weight = ExpDecay {
+            start: self.cfg.eps_start,
+            end: self.cfg.eps_end,
+            m: self.cfg.decay_m,
+        };
+        let base_score = self.evaluate_downstream(self.original);
+        let max_features = self.cfg.max_features(self.original.n_features());
+
+        let mut best_score = base_score;
+        let mut best_fs = FeatureSet::from_original(self.original);
+        let mut records = Vec::new();
+        let mut episode_best = Vec::with_capacity(self.cfg.episodes);
+
+        for episode in 0..self.cfg.episodes {
+            let cold = episode < self.cfg.cold_start_episodes || !self.cfg.use_predictor;
+            let mut fs = FeatureSet::from_original(self.original);
+            let mut prev_v = base_score;
+            let mut prev_seq =
+                encode_feature_set(&fs.exprs, &self.vocab, self.cfg.max_seq_len);
+            let mut prev_state = state::rep_overall(&fs.data);
+            // Pending memory from the previous step, waiting for its
+            // next-step head candidates before insertion.
+            let mut pending: Option<MemoryUnit> = None;
+
+            for step in 0..self.cfg.steps_per_episode {
+                self.global_step += 1;
+                // --- agent decisions -----------------------------------
+                let t_opt = Instant::now();
+                let cache = MiCache::compute(&fs.data, self.cfg.mi_bins);
+                let clusters =
+                    cluster_features(&fs.data, &cache, self.cfg.cluster_threshold, 2);
+                let overall = prev_state.clone();
+                let cluster_reps: Vec<Vec<f64>> =
+                    clusters.iter().map(|c| state::rep_cluster(&fs.data, c)).collect();
+                let head_cands: Vec<Vec<f64>> = cluster_reps
+                    .iter()
+                    .map(|cr| state::head_candidate(cr, &overall))
+                    .collect();
+                // Complete the previous step's memory with this step's head
+                // candidates, then insert and learn.
+                if let Some(mut mem) = pending.take() {
+                    mem.next_head_candidates = head_cands.clone();
+                    self.store_and_learn(mem);
+                }
+                let head_idx = self.agents.select(Role::Head, &head_cands, &mut self.rng);
+                let head_rep = &cluster_reps[head_idx];
+                let op_cands: Vec<Vec<f64>> = Op::ALL
+                    .iter()
+                    .map(|&op| state::op_candidate(head_rep, &overall, op))
+                    .collect();
+                let op_idx = self.agents.select(Role::Op, &op_cands, &mut self.rng);
+                let op = Op::ALL[op_idx];
+                let tail_choice = if op.is_binary() {
+                    let tail_cands: Vec<Vec<f64>> = cluster_reps
+                        .iter()
+                        .map(|cr| state::tail_candidate(head_rep, &overall, op, cr))
+                        .collect();
+                    let tail_idx = self.agents.select(Role::Tail, &tail_cands, &mut self.rng);
+                    Some((tail_cands, tail_idx))
+                } else {
+                    None
+                };
+                self.telemetry.optimization_secs += t_opt.elapsed().as_secs_f64();
+
+                // --- group-wise crossing -------------------------------
+                let tail_members = tail_choice.as_ref().map(|(_, i)| clusters[*i].as_slice());
+                let generated = fs.cross(
+                    &clusters[head_idx],
+                    op,
+                    tail_members,
+                    self.cfg.max_new_per_step,
+                    &mut self.rng,
+                );
+                let new_exprs: Vec<String> =
+                    generated.iter().map(|(e, _)| e.to_string()).collect();
+                let produced = !generated.is_empty();
+                fs.extend(generated);
+                fs.select_top(max_features, self.cfg.mi_bins);
+
+                let seq = encode_feature_set(&fs.exprs, &self.vocab, self.cfg.max_seq_len);
+                let next_state = state::rep_overall(&fs.data);
+                let key = canonical_key(&fs.exprs);
+                let (nov_dist, new_comb) = self.tracker.observe(next_state.clone(), &key);
+
+                // --- scoring and reward --------------------------------
+                let (v, reward, predicted, nov) = if cold {
+                    let v = self.evaluate_downstream(&fs.data);
+                    self.eval_history.push((seq.clone(), v));
+                    // Eq. 5 (plus the novelty bonus when the estimator is
+                    // active and trained; during true cold start the
+                    // estimator is untrained, so only the −PP path adds it).
+                    let mut r = v - prev_v;
+                    let mut nov = 0.0;
+                    if self.cfg.use_novelty && episode >= self.cfg.cold_start_episodes {
+                        let t_est = Instant::now();
+                        nov = self.novelty.novelty(&seq);
+                        self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
+                        self.telemetry.predictor_calls += 1;
+                        let normed = self.normalize_novelty(nov);
+                        r += novelty_weight.at(self.global_step) * normed;
+                        self.nov_history.push(nov);
+                    }
+                    (v, r, false, nov)
+                } else {
+                    let t_est = Instant::now();
+                    let pred = self.predictor.predict(&seq);
+                    let pred_prev = self.predictor.predict(&prev_seq);
+                    let nov = if self.cfg.use_novelty { self.novelty.novelty(&seq) } else { 0.0 };
+                    self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
+                    self.telemetry.predictor_calls += 2;
+                    // Eq. 6, with the novelty bonus std-normalised so the
+                    // two terms share a scale.
+                    let mut r = pred - pred_prev;
+                    if self.cfg.use_novelty {
+                        let normed = self.normalize_novelty(nov);
+                        r += novelty_weight.at(self.global_step) * normed;
+                        self.nov_history.push(nov);
+                    }
+                    let trigger = self.trigger_downstream(pred, nov);
+                    self.pred_history.push(pred);
+                    if trigger {
+                        let v = self.evaluate_downstream(&fs.data);
+                        self.eval_history.push((seq.clone(), v));
+                        (v, r, false, nov)
+                    } else {
+                        (pred, r, true, nov)
+                    }
+                };
+                let reward = if produced { reward } else { reward - 0.05 };
+
+                // Best tracking: only real downstream evaluations count.
+                if !predicted && v > best_score {
+                    best_score = v;
+                    best_fs = fs.clone();
+                }
+
+                // --- memory --------------------------------------------
+                let mem = MemoryUnit {
+                    state: prev_state.clone(),
+                    next_state: next_state.clone(),
+                    reward,
+                    head: Decision { candidates: head_cands, action: head_idx },
+                    op: Decision { candidates: op_cands, action: op_idx },
+                    tail: tail_choice
+                        .map(|(cands, idx)| Decision { candidates: cands, action: idx }),
+                    next_head_candidates: Vec::new(),
+                    seq: seq.clone(),
+                    perf: v,
+                };
+                pending = Some(mem);
+
+                records.push(StepRecord {
+                    episode,
+                    step,
+                    reward,
+                    score: v,
+                    predicted,
+                    novelty: nov,
+                    novelty_distance: nov_dist,
+                    new_combination: new_comb,
+                    n_features: fs.n_features(),
+                    new_exprs,
+                });
+
+                prev_v = v;
+                prev_seq = seq;
+                prev_state = next_state;
+            }
+            // Episode end: flush the pending memory (terminal transition).
+            if let Some(mem) = pending.take() {
+                self.store_and_learn(mem);
+            }
+
+            // --- component training -------------------------------------
+            let cold_start_end = episode + 1 == self.cfg.cold_start_episodes;
+            let retrain_due = episode + 1 > self.cfg.cold_start_episodes
+                && self.cfg.retrain_every > 0
+                && (episode + 1 - self.cfg.cold_start_episodes).is_multiple_of(self.cfg.retrain_every);
+            let components_active = self.cfg.use_predictor || self.cfg.use_novelty;
+            if components_active && cold_start_end {
+                self.train_components_cold_start();
+            } else if components_active && retrain_due {
+                self.finetune_components();
+            }
+
+            episode_best.push(best_score);
+        }
+
+        self.telemetry.total_secs = t_start.elapsed().as_secs_f64();
+        RunResult {
+            base_score,
+            best_score,
+            best_dataset: best_fs.data,
+            best_exprs: best_fs.exprs,
+            records,
+            episode_best,
+            telemetry: self.telemetry,
+        }
+    }
+
+    fn store_and_learn(&mut self, mem: MemoryUnit) {
+        let t_opt = Instant::now();
+        let delta = self.agents.td_error(&mem);
+        self.memory.push(mem, delta);
+        // Alg. 1 line 9 / Alg. 2 line 17: sample from the priority
+        // distribution and optimise the cascading agents.
+        if self.memory.len() >= 2 {
+            if let Some(sampled) = self.memory.sample(&mut self.rng) {
+                let sampled = sampled.clone();
+                self.agents.learn(&sampled);
+            }
+        }
+        self.telemetry.optimization_secs += t_opt.elapsed().as_secs_f64();
+    }
+
+    /// Alg. 1 lines 14–19: initial training of both components from the
+    /// cold-start collection.
+    fn train_components_cold_start(&mut self) {
+        let t_est = Instant::now();
+        let passes = self.cfg.retrain_epochs.max(1);
+        for _ in 0..passes {
+            for (seq, v) in &self.eval_history {
+                if self.cfg.use_predictor {
+                    self.predictor.train_step(seq, *v);
+                }
+                if self.cfg.use_novelty {
+                    self.novelty.train_step(seq);
+                }
+            }
+        }
+        self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
+    }
+
+    /// Alg. 2 lines 19–24: periodic fine-tuning from the memory buffer
+    /// (uniform samples).
+    fn finetune_components(&mut self) {
+        let t_est = Instant::now();
+        for _ in 0..self.cfg.retrain_epochs {
+            if let Some(mem) = self.memory.sample_uniform(&mut self.rng) {
+                let (seq, v) = (mem.seq.clone(), mem.perf);
+                if self.cfg.use_predictor {
+                    self.predictor.train_step(&seq, v);
+                }
+                if self.cfg.use_novelty {
+                    self.novelty.train_step(&seq);
+                }
+            }
+        }
+        // Anchor the predictor on real downstream results as well, so
+        // estimated rewards cannot drift from evaluated ones.
+        if self.cfg.use_predictor {
+            let recent = self.eval_history.len().saturating_sub(self.cfg.retrain_epochs);
+            let tail: Vec<(Vec<usize>, f64)> = self.eval_history[recent..].to_vec();
+            for (seq, v) in &tail {
+                self.predictor.train_step(seq, *v);
+            }
+        }
+        self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_ml::Evaluator;
+    use fastft_tabular::datagen;
+
+    fn small_data(name: &str, rows: usize, seed: u64) -> Dataset {
+        let spec = datagen::by_name(name).unwrap();
+        let mut d = datagen::generate_capped(spec, rows, seed);
+        d.sanitize();
+        d
+    }
+
+    fn tiny_cfg() -> FastFtConfig {
+        FastFtConfig {
+            episodes: 4,
+            steps_per_episode: 4,
+            cold_start_episodes: 2,
+            retrain_every: 1,
+            retrain_epochs: 8,
+            evaluator: Evaluator { folds: 3, ..Evaluator::default() },
+            ..FastFtConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_improves_or_matches_base_score() {
+        let data = small_data("pima_indian", 200, 0);
+        let result = FastFt::new(tiny_cfg()).fit(&data);
+        assert!(result.best_score >= result.base_score);
+        assert!(result.best_score <= 1.0);
+        assert_eq!(result.episode_best.len(), 4);
+        assert_eq!(result.records.len(), 16);
+    }
+
+    #[test]
+    fn best_dataset_matches_best_exprs() {
+        let data = small_data("pima_indian", 150, 1);
+        let result = FastFt::new(tiny_cfg()).fit(&data);
+        assert_eq!(result.best_dataset.n_features(), result.best_exprs.len());
+        for (c, e) in result.best_dataset.features.iter().zip(&result.best_exprs) {
+            assert_eq!(c.name, e.to_string());
+        }
+    }
+
+    #[test]
+    fn cold_start_steps_are_all_evaluated() {
+        let data = small_data("pima_indian", 150, 2);
+        let cfg = tiny_cfg();
+        let cold_steps = cfg.cold_start_episodes * cfg.steps_per_episode;
+        let result = FastFt::new(cfg).fit(&data);
+        for r in &result.records[..cold_steps] {
+            assert!(!r.predicted, "cold-start step {}.{} was predicted", r.episode, r.step);
+        }
+    }
+
+    #[test]
+    fn predictor_reduces_downstream_evals() {
+        let data = small_data("pima_indian", 150, 3);
+        let mut cfg = tiny_cfg();
+        cfg.episodes = 6;
+        let with = FastFt::new(cfg.clone()).fit(&data);
+        let without = FastFt::new(cfg.without_predictor()).fit(&data);
+        assert!(
+            with.telemetry.downstream_evals < without.telemetry.downstream_evals,
+            "with: {}, without: {}",
+            with.telemetry.downstream_evals,
+            without.telemetry.downstream_evals
+        );
+        // −PP evaluates every step downstream (+1 for the base score).
+        assert_eq!(without.telemetry.downstream_evals, 6 * 4 + 1);
+    }
+
+    #[test]
+    fn telemetry_times_are_consistent() {
+        let data = small_data("pima_indian", 120, 4);
+        let result = FastFt::new(tiny_cfg()).fit(&data);
+        let t = result.telemetry;
+        assert!(t.evaluation_secs > 0.0);
+        assert!(t.optimization_secs > 0.0);
+        assert!(t.total_secs >= t.evaluation_secs);
+        assert!(t.downstream_evals >= 1);
+    }
+
+    #[test]
+    fn ablations_run() {
+        let data = small_data("pima_indian", 120, 5);
+        for cfg in [
+            tiny_cfg().without_novelty(),
+            tiny_cfg().without_critical_replay(),
+            tiny_cfg().without_predictor(),
+        ] {
+            let r = FastFt::new(cfg).fit(&data);
+            assert!(r.best_score >= r.base_score);
+        }
+    }
+
+    #[test]
+    fn q_framework_runs() {
+        use crate::agents::RlKind;
+        use fastft_rl::QKind;
+        let data = small_data("pima_indian", 120, 6);
+        let mut cfg = tiny_cfg();
+        cfg.rl = RlKind::Q(QKind::DuelingDqn);
+        let r = FastFt::new(cfg).fit(&data);
+        assert!(r.best_score >= r.base_score);
+    }
+
+    #[test]
+    fn regression_task_runs() {
+        let data = small_data("openml_620", 150, 7);
+        let r = FastFt::new(tiny_cfg()).fit(&data);
+        assert!(r.best_score >= r.base_score);
+        assert!(r.best_score.is_finite());
+    }
+
+    #[test]
+    fn detection_task_runs() {
+        let data = small_data("thyroid", 400, 8);
+        let r = FastFt::new(tiny_cfg()).fit(&data);
+        assert!(r.best_score >= r.base_score);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = small_data("pima_indian", 120, 9);
+        let a = FastFt::new(tiny_cfg()).fit(&data);
+        let b = FastFt::new(tiny_cfg()).fit(&data);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.score, rb.score);
+            assert_eq!(ra.new_exprs, rb.new_exprs);
+        }
+    }
+
+    #[test]
+    fn episode_best_is_monotone() {
+        let data = small_data("pima_indian", 120, 10);
+        let r = FastFt::new(tiny_cfg()).fit(&data);
+        for w in r.episode_best.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn feature_cap_respected() {
+        let data = small_data("pima_indian", 120, 11);
+        let cfg = tiny_cfg();
+        let cap = cfg.max_features(data.n_features());
+        let r = FastFt::new(cfg).fit(&data);
+        for rec in &r.records {
+            assert!(rec.n_features <= cap, "step has {} features > cap {cap}", rec.n_features);
+        }
+        assert!(r.best_dataset.n_features() <= cap);
+    }
+
+    #[test]
+    fn novelty_distances_recorded() {
+        let data = small_data("pima_indian", 120, 12);
+        let r = FastFt::new(tiny_cfg()).fit(&data);
+        // First step of the run is maximally novel.
+        assert_eq!(r.records[0].novelty_distance, 1.0);
+        assert!(r.records.iter().all(|rec| rec.novelty_distance >= 0.0));
+        assert!(r.records.iter().any(|rec| rec.new_combination));
+    }
+
+    #[test]
+    fn percentile_helper() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+}

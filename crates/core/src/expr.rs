@@ -1,0 +1,217 @@
+//! Traceable feature expressions.
+//!
+//! Every generated feature carries an expression tree over the *base*
+//! features, so the framework can always print the exact mathematical
+//! relationship between original and generated columns — the traceability
+//! the paper demonstrates in Table IV and Fig. 15.
+
+use crate::ops::Op;
+use std::fmt;
+
+/// An expression over base features.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A base (original) feature, by index.
+    Base(usize),
+    /// A unary operation.
+    Unary(Op, Box<Expr>),
+    /// A binary operation.
+    Binary(Op, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Wrap a base feature index.
+    pub fn base(i: usize) -> Expr {
+        Expr::Base(i)
+    }
+
+    /// Apply a unary op.
+    ///
+    /// # Panics
+    /// Panics if `op` is binary.
+    pub fn unary(op: Op, inner: Expr) -> Expr {
+        assert!(op.is_unary(), "{op:?} is not unary");
+        Expr::Unary(op, Box::new(inner))
+    }
+
+    /// Apply a binary op.
+    ///
+    /// # Panics
+    /// Panics if `op` is unary.
+    pub fn binary(op: Op, left: Expr, right: Expr) -> Expr {
+        assert!(op.is_binary(), "{op:?} is not binary");
+        Expr::Binary(op, Box::new(left), Box::new(right))
+    }
+
+    /// Evaluate against base columns (column-major, indexed by
+    /// `Expr::Base`).
+    pub fn eval(&self, base: &[Vec<f64>]) -> Vec<f64> {
+        match self {
+            Expr::Base(i) => base[*i].clone(),
+            Expr::Unary(op, inner) => op.apply_unary(&inner.eval(base)),
+            Expr::Binary(op, l, r) => op.apply_binary(&l.eval(base), &r.eval(base)),
+        }
+    }
+
+    /// Evaluate one row.
+    pub fn eval_row(&self, row: &[f64]) -> f64 {
+        match self {
+            Expr::Base(i) => row[*i],
+            Expr::Unary(op, inner) => op.apply_unary_scalar(inner.eval_row(row)),
+            Expr::Binary(op, l, r) => {
+                op.apply_binary_scalar(l.eval_row(row), r.eval_row(row))
+            }
+        }
+    }
+
+    /// Tree depth (`Base` = 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Base(_) => 1,
+            Expr::Unary(_, inner) => 1 + inner.depth(),
+            Expr::Binary(_, l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// Node count (complexity measure for selection tie-breaking).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Base(_) => 1,
+            Expr::Unary(_, inner) => 1 + inner.size(),
+            Expr::Binary(_, l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// Indices of all base features the expression reads.
+    pub fn base_features(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_bases(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Base(i) => out.push(*i),
+            Expr::Unary(_, inner) => inner.collect_bases(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_bases(out);
+                r.collect_bases(out);
+            }
+        }
+    }
+
+    /// Whether this is a bare base feature.
+    pub fn is_base(&self) -> bool {
+        matches!(self, Expr::Base(_))
+    }
+
+    /// Postfix token walk: calls `on_feat` for leaves and `on_op` for
+    /// operators in evaluation order. This ordering defines the
+    /// transformation-sequence tokens (Definition 4).
+    pub fn walk_postfix(&self, on_feat: &mut impl FnMut(usize), on_op: &mut impl FnMut(Op)) {
+        match self {
+            Expr::Base(i) => on_feat(*i),
+            Expr::Unary(op, inner) => {
+                inner.walk_postfix(on_feat, on_op);
+                on_op(*op);
+            }
+            Expr::Binary(op, l, r) => {
+                l.walk_postfix(on_feat, on_op);
+                r.walk_postfix(on_feat, on_op);
+                on_op(*op);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Human-readable infix rendering, e.g. `((f3*f9)+sq(f4))` — the
+    /// traceable form printed in Table IV / Fig. 15.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Base(i) => write!(f, "f{i}"),
+            Expr::Unary(op, inner) => write!(f, "{}({inner})", op.symbol()),
+            Expr::Binary(op, l, r) => write!(f, "({l}{}{r})", op.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // (f0 * f1) + sq(f2)
+        Expr::binary(
+            Op::Plus,
+            Expr::binary(Op::Multiply, Expr::base(0), Expr::base(1)),
+            Expr::unary(Op::Square, Expr::base(2)),
+        )
+    }
+
+    #[test]
+    fn display_is_traceable() {
+        assert_eq!(sample().to_string(), "((f0*f1)+sq(f2))");
+    }
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let base = vec![vec![2.0, -1.0], vec![3.0, 4.0], vec![5.0, 0.5]];
+        let v = sample().eval(&base);
+        assert_eq!(v, vec![2.0 * 3.0 + 25.0, -4.0 + 0.25]);
+    }
+
+    #[test]
+    fn eval_row_matches_eval() {
+        let base = vec![vec![2.0], vec![3.0], vec![5.0]];
+        let col = sample().eval(&base);
+        let row = sample().eval_row(&[2.0, 3.0, 5.0]);
+        assert_eq!(col[0], row);
+    }
+
+    #[test]
+    fn depth_and_size() {
+        let e = sample();
+        assert_eq!(e.depth(), 3);
+        assert_eq!(e.size(), 6);
+        assert_eq!(Expr::base(0).depth(), 1);
+    }
+
+    #[test]
+    fn base_features_deduped_sorted() {
+        let e = Expr::binary(Op::Multiply, sample(), Expr::base(1));
+        assert_eq!(e.base_features(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn postfix_walk_order() {
+        let mut feats = Vec::new();
+        let mut ops = Vec::new();
+        sample().walk_postfix(&mut |i| feats.push(i), &mut |op| ops.push(op.symbol()));
+        assert_eq!(feats, vec![0, 1, 2]);
+        assert_eq!(ops, vec!["*", "sq", "+"]);
+    }
+
+    #[test]
+    fn equal_exprs_hash_equal() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(sample());
+        assert!(set.contains(&sample()));
+        assert!(!set.contains(&Expr::base(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unary_constructor_rejects_binary_op() {
+        let _ = Expr::unary(Op::Plus, Expr::base(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn binary_constructor_rejects_unary_op() {
+        let _ = Expr::binary(Op::Log, Expr::base(0), Expr::base(1));
+    }
+}

@@ -1,0 +1,52 @@
+//! # FASTFT — accelerating reinforced feature transformation
+//!
+//! A from-scratch Rust implementation of the ICDE 2025 paper "FASTFT:
+//! Accelerating Reinforced Feature Transformation via Advanced Exploration
+//! Strategies".
+//!
+//! Three cascading reinforcement-learning agents ([`agents`]) select a head
+//! feature cluster, a mathematical operation and a tail cluster each step,
+//! producing traceable feature crossings ([`expr`], [`transform`]). The
+//! expensive downstream-task reward is replaced after a cold start by a
+//! **Performance Predictor** ([`predictor`]) and a **Novelty Estimator**
+//! ([`novelty`], random network distillation), with real evaluation
+//! triggered only for top-percentile candidates; critical transformations
+//! replay from a prioritized buffer. [`engine::FastFt`] ties it all
+//! together.
+//!
+//! ```no_run
+//! use fastft_core::{FastFt, FastFtConfig};
+//! use fastft_tabular::datagen;
+//!
+//! let spec = datagen::by_name("pima_indian").unwrap();
+//! let data = datagen::generate(spec, 0);
+//! let result = FastFt::new(FastFtConfig::quick()).fit(&data);
+//! println!("{} -> {}", result.base_score, result.best_score);
+//! for e in &result.best_exprs {
+//!     println!("  {e}");
+//! }
+//! ```
+
+pub mod agents;
+pub mod cluster;
+pub mod config;
+pub mod engine;
+pub mod expr;
+pub mod novelty;
+pub mod novelty_metric;
+pub mod ops;
+pub mod parse;
+pub mod predictor;
+pub mod report;
+pub mod search_stats;
+pub mod sequence;
+pub mod state;
+pub mod transform;
+
+pub use agents::RlKind;
+pub use config::FastFtConfig;
+pub use engine::{FastFt, RunResult, StepRecord, Telemetry};
+pub use expr::Expr;
+pub use ops::Op;
+pub use parse::parse_expr;
+pub use transform::FeatureSet;

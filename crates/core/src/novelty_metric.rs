@@ -1,0 +1,136 @@
+//! The novelty-distance metric of §VI-H (Fig. 14).
+//!
+//! "Novelty distance" is the minimum cosine distance between the current
+//! feature-set embedding and all collected historical embeddings; the
+//! "unencountered feature number" counts canonical feature combinations
+//! never generated before.
+
+use std::collections::HashSet;
+
+/// Tracks feature-set embeddings and canonical keys across a run.
+#[derive(Debug, Clone, Default)]
+pub struct NoveltyTracker {
+    history: Vec<Vec<f64>>,
+    seen: HashSet<String>,
+}
+
+/// Cosine distance `1 − cos(a, b)`; zero vectors are treated as maximally
+/// distant from everything except other zero vectors.
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 && nb == 0.0 {
+        return 0.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na * nb)).clamp(0.0, 2.0)
+}
+
+impl NoveltyTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded embeddings.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Minimum cosine distance of `embedding` to the recorded history
+    /// (§VI-H's novelty distance). The first observation is maximally novel
+    /// by convention (distance 1).
+    pub fn novelty_distance(&self, embedding: &[f64]) -> f64 {
+        self.history
+            .iter()
+            .map(|h| cosine_distance(h, embedding))
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Record a step: returns `(novelty_distance, is_new_combination)` and
+    /// adds the embedding/key to the history.
+    pub fn observe(&mut self, embedding: Vec<f64>, canonical_key: &str) -> (f64, bool) {
+        let dist = self.novelty_distance(&embedding);
+        let is_new = self.seen.insert(canonical_key.to_owned());
+        self.history.push(embedding);
+        (dist, is_new)
+    }
+
+    /// Number of distinct feature combinations encountered so far.
+    pub fn unencountered_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_distance_basics() {
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let d1 = cosine_distance(&[1.0, 2.0], &[3.0, 1.0]);
+        let d2 = cosine_distance(&[10.0, 20.0], &[3.0, 1.0]);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vectors() {
+        assert_eq!(cosine_distance(&[0.0], &[0.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn first_observation_is_fully_novel() {
+        let mut t = NoveltyTracker::new();
+        let (d, new) = t.observe(vec![1.0, 2.0], "a");
+        assert_eq!(d, 1.0);
+        assert!(new);
+    }
+
+    #[test]
+    fn repeat_embedding_is_not_novel() {
+        let mut t = NoveltyTracker::new();
+        t.observe(vec![1.0, 2.0], "a");
+        let (d, new) = t.observe(vec![1.0, 2.0], "a");
+        assert!(d.abs() < 1e-12);
+        assert!(!new);
+        assert_eq!(t.unencountered_count(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_counted() {
+        let mut t = NoveltyTracker::new();
+        t.observe(vec![1.0, 0.0], "a");
+        t.observe(vec![0.0, 1.0], "b");
+        t.observe(vec![1.0, 1.0], "a");
+        assert_eq!(t.unencountered_count(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn novelty_distance_is_min_over_history() {
+        let mut t = NoveltyTracker::new();
+        t.observe(vec![1.0, 0.0], "a");
+        t.observe(vec![0.0, 1.0], "b");
+        // Closer to the first entry.
+        let d = t.novelty_distance(&[0.9, 0.1]);
+        assert!(d < cosine_distance(&[0.9, 0.1], &[0.0, 1.0]));
+    }
+}

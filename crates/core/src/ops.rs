@@ -1,0 +1,223 @@
+//! The operation set `O` (Definition 1): unary and binary mathematical
+//! transformations applied to feature columns.
+//!
+//! All operations are **total** on finite inputs — divides, logs and roots
+//! are guarded so generated columns stay finite, matching the sanitisation
+//! downstream models require.
+
+/// A mathematical operation from the paper's operation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    // --- unary ---
+    /// `x²`
+    Square,
+    /// Sign-preserving square root: `sign(x)·√|x|`.
+    Sqrt,
+    /// `ln(|x| + 1)`
+    Log,
+    /// `exp(clamp(x, −20, 20))`
+    Exp,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tanh(x)`
+    Tanh,
+    /// Guarded reciprocal: `sign(x) / (|x| + 1e−6)`.
+    Reciprocal,
+    // --- binary ---
+    /// `a + b`
+    Plus,
+    /// `a − b`
+    Minus,
+    /// `a × b`
+    Multiply,
+    /// Guarded division: `a · sign(b) / (|b| + 1e−6)`.
+    Divide,
+}
+
+impl Op {
+    /// Every operation, unary first — index order defines the op-token ids.
+    pub const ALL: [Op; 12] = [
+        Op::Square,
+        Op::Sqrt,
+        Op::Log,
+        Op::Exp,
+        Op::Sin,
+        Op::Cos,
+        Op::Tanh,
+        Op::Reciprocal,
+        Op::Plus,
+        Op::Minus,
+        Op::Multiply,
+        Op::Divide,
+    ];
+
+    /// Number of operations in the set.
+    pub const COUNT: usize = Op::ALL.len();
+
+    /// Stable index of this op inside [`Op::ALL`].
+    pub fn index(self) -> usize {
+        Op::ALL.iter().position(|&o| o == self).expect("op in ALL")
+    }
+
+    /// Whether the op takes a single operand.
+    pub fn is_unary(self) -> bool {
+        matches!(
+            self,
+            Op::Square | Op::Sqrt | Op::Log | Op::Exp | Op::Sin | Op::Cos | Op::Tanh | Op::Reciprocal
+        )
+    }
+
+    /// Whether the op takes two operands.
+    pub fn is_binary(self) -> bool {
+        !self.is_unary()
+    }
+
+    /// All unary ops.
+    pub fn unary() -> impl Iterator<Item = Op> {
+        Op::ALL.into_iter().filter(|o| o.is_unary())
+    }
+
+    /// All binary ops.
+    pub fn binary() -> impl Iterator<Item = Op> {
+        Op::ALL.into_iter().filter(|o| o.is_binary())
+    }
+
+    /// Rendering symbol (used by the traceable expression strings).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Square => "sq",
+            Op::Sqrt => "sqrt",
+            Op::Log => "log",
+            Op::Exp => "exp",
+            Op::Sin => "sin",
+            Op::Cos => "cos",
+            Op::Tanh => "tanh",
+            Op::Reciprocal => "recip",
+            Op::Plus => "+",
+            Op::Minus => "-",
+            Op::Multiply => "*",
+            Op::Divide => "/",
+        }
+    }
+
+    /// Apply a unary op to a scalar.
+    ///
+    /// # Panics
+    /// Panics if the op is binary.
+    pub fn apply_unary_scalar(self, x: f64) -> f64 {
+        match self {
+            Op::Square => x * x,
+            Op::Sqrt => x.signum() * x.abs().sqrt(),
+            Op::Log => (x.abs() + 1.0).ln(),
+            Op::Exp => x.clamp(-20.0, 20.0).exp(),
+            Op::Sin => x.sin(),
+            Op::Cos => x.cos(),
+            Op::Tanh => x.tanh(),
+            Op::Reciprocal => x.signum() / (x.abs() + 1e-6),
+            _ => panic!("{self:?} is binary"),
+        }
+    }
+
+    /// Apply a binary op to scalars.
+    ///
+    /// # Panics
+    /// Panics if the op is unary.
+    pub fn apply_binary_scalar(self, a: f64, b: f64) -> f64 {
+        match self {
+            Op::Plus => a + b,
+            Op::Minus => a - b,
+            Op::Multiply => a * b,
+            Op::Divide => a * (if b < 0.0 { -1.0 } else { 1.0 }) / (b.abs() + 1e-6),
+            _ => panic!("{self:?} is unary"),
+        }
+    }
+
+    /// Apply a unary op columnwise.
+    pub fn apply_unary(self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.apply_unary_scalar(v)).collect()
+    }
+
+    /// Apply a binary op columnwise.
+    pub fn apply_binary(self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.apply_binary_scalar(x, y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_partition() {
+        assert_eq!(Op::unary().count(), 8);
+        assert_eq!(Op::binary().count(), 4);
+        assert_eq!(Op::COUNT, 12);
+        for op in Op::ALL {
+            assert_ne!(op.is_unary(), op.is_binary());
+        }
+    }
+
+    #[test]
+    fn indices_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Op::ALL {
+            assert_eq!(Op::ALL[op.index()], op);
+            assert!(seen.insert(op.index()));
+        }
+    }
+
+    #[test]
+    fn unary_totality_on_hostile_inputs() {
+        for op in Op::unary() {
+            for &x in &[0.0, -0.0, 1e15, -1e15, 1e-300, -1.0] {
+                let y = op.apply_unary_scalar(x);
+                assert!(y.is_finite(), "{op:?}({x}) = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_totality_on_hostile_inputs() {
+        for op in Op::binary() {
+            for &(a, b) in &[(1.0, 0.0), (0.0, 0.0), (-1e10, 1e-300), (5.0, -0.0)] {
+                let y = op.apply_binary_scalar(a, b);
+                assert!(y.is_finite(), "{op:?}({a}, {b}) = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_preserves_sign() {
+        assert!((Op::Sqrt.apply_unary_scalar(-4.0) + 2.0).abs() < 1e-12);
+        assert!((Op::Sqrt.apply_unary_scalar(9.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divide_approximates_true_division() {
+        let y = Op::Divide.apply_binary_scalar(6.0, 2.0);
+        assert!((y - 3.0).abs() < 1e-5);
+        let y = Op::Divide.apply_binary_scalar(6.0, -2.0);
+        assert!((y + 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn columnwise_matches_scalar() {
+        let a = vec![1.0, -2.0, 3.0];
+        let b = vec![4.0, 5.0, -6.0];
+        let col = Op::Multiply.apply_binary(&a, &b);
+        for i in 0..3 {
+            assert_eq!(col[i], Op::Multiply.apply_binary_scalar(a[i], b[i]));
+        }
+        let u = Op::Square.apply_unary(&a);
+        assert_eq!(u, vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unary_apply_on_binary_panics() {
+        Op::Plus.apply_unary_scalar(1.0);
+    }
+}

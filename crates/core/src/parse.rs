@@ -1,0 +1,192 @@
+//! Parser for the traceable expression syntax produced by
+//! [`Expr`]'s `Display` — so feature sets exported from a run (e.g. in a
+//! report or CSV header) can be re-loaded and applied to new data.
+//!
+//! Grammar (exactly what `Display` emits):
+//!
+//! ```text
+//! expr   := base | unary | binary
+//! base   := 'f' digits
+//! unary  := name '(' expr ')'          name ∈ {sq, sqrt, log, exp, sin, cos, tanh, recip}
+//! binary := '(' expr op expr ')'       op ∈ {+, -, *, /}
+//! ```
+
+use crate::expr::Expr;
+use crate::ops::Op;
+
+/// Parse an expression string like `((f0*f1)+sq(f2))`.
+///
+/// Returns a descriptive error on malformed input or trailing characters.
+pub fn parse_expr(input: &str) -> Result<Expr, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}: `{}`", p.pos, &input[p.pos..]));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => self.binary(),
+            Some(b'f') if self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) => {
+                self.base()
+            }
+            Some(c) if c.is_ascii_alphabetic() => self.unary(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos)),
+        }
+    }
+
+    fn base(&mut self) -> Result<Expr, String> {
+        self.expect(b'f')?;
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected feature index at byte {start}"));
+        }
+        let idx: usize = std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad feature index: {e}"))?;
+        Ok(Expr::base(idx))
+    }
+
+    fn unary(&mut self) -> Result<Expr, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let op = Op::unary()
+            .find(|o| o.symbol() == name)
+            .ok_or_else(|| format!("unknown unary op `{name}` at byte {start}"))?;
+        self.expect(b'(')?;
+        let inner = self.expr()?;
+        self.skip_ws();
+        self.expect(b')')?;
+        Ok(Expr::unary(op, inner))
+    }
+
+    fn binary(&mut self) -> Result<Expr, String> {
+        self.expect(b'(')?;
+        let left = self.expr()?;
+        self.skip_ws();
+        let op = match self.peek() {
+            Some(b'+') => Op::Plus,
+            Some(b'-') => Op::Minus,
+            Some(b'*') => Op::Multiply,
+            Some(b'/') => Op::Divide,
+            other => {
+                return Err(format!(
+                    "expected binary operator at byte {}, found {:?}",
+                    self.pos,
+                    other.map(|c| c as char)
+                ))
+            }
+        };
+        self.pos += 1;
+        let right = self.expr()?;
+        self.skip_ws();
+        self.expect(b')')?;
+        Ok(Expr::binary(op, left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_base() {
+        assert_eq!(parse_expr("f0").unwrap(), Expr::base(0));
+        assert_eq!(parse_expr("f42").unwrap(), Expr::base(42));
+    }
+
+    #[test]
+    fn parses_unary() {
+        assert_eq!(parse_expr("sq(f1)").unwrap(), Expr::unary(Op::Square, Expr::base(1)));
+        assert_eq!(
+            parse_expr("log(sqrt(f2))").unwrap(),
+            Expr::unary(Op::Log, Expr::unary(Op::Sqrt, Expr::base(2)))
+        );
+    }
+
+    #[test]
+    fn parses_binary() {
+        assert_eq!(
+            parse_expr("(f0*f1)").unwrap(),
+            Expr::binary(Op::Multiply, Expr::base(0), Expr::base(1))
+        );
+    }
+
+    #[test]
+    fn parses_nested_paper_style() {
+        let s = "((f3*f9)+sq(f4))";
+        let e = parse_expr(s).unwrap();
+        assert_eq!(e.to_string(), s);
+    }
+
+    #[test]
+    fn display_parse_round_trip_samples() {
+        let exprs = [
+            Expr::base(7),
+            Expr::unary(Op::Reciprocal, Expr::base(0)),
+            Expr::binary(
+                Op::Divide,
+                Expr::binary(Op::Plus, Expr::base(1), Expr::unary(Op::Exp, Expr::base(2))),
+                Expr::unary(Op::Tanh, Expr::binary(Op::Minus, Expr::base(3), Expr::base(4))),
+            ),
+        ];
+        for e in exprs {
+            let back = parse_expr(&e.to_string()).unwrap();
+            assert_eq!(back, e, "{e}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let e = parse_expr("( f0 + f1 )").unwrap();
+        assert_eq!(e, Expr::binary(Op::Plus, Expr::base(0), Expr::base(1)));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "f", "(f0+)", "(f0 f1)", "sq(f0", "f0)", "zzz(f0)", "(f0%f1)"] {
+            assert!(parse_expr(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_expr("f0 extra").is_err());
+    }
+}

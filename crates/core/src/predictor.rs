@@ -1,0 +1,121 @@
+//! The Performance Predictor `φ(T) → ℝ` (§III-C).
+//!
+//! A token-embedding + 2-layer-LSTM + feed-forward regressor that maps a
+//! transformation sequence to predicted downstream performance, replacing
+//! the expensive `A(T(F), y)` evaluation after the cold start. The paper's
+//! architecture (§V): embedding dim 32, 2 stacked LSTM layers, FC head
+//! 16 → 1.
+
+use fastft_nn::{EncoderKind, SequenceRegressor};
+
+/// Architecture hyperparameters for the predictor (and estimator encoder).
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorConfig {
+    /// Token-embedding / LSTM hidden width (paper: 32).
+    pub dim: usize,
+    /// Encoder variant (paper default: 2-layer LSTM; Fig. 8 swaps this).
+    pub encoder: EncoderKind,
+    /// Adam learning rate.
+    pub lr: f64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig { dim: 32, encoder: EncoderKind::Lstm { layers: 2 }, lr: 1e-3 }
+    }
+}
+
+/// LSTM performance predictor.
+#[derive(Debug, Clone)]
+pub struct PerformancePredictor {
+    net: SequenceRegressor,
+}
+
+impl PerformancePredictor {
+    /// Build for a vocabulary of `vocab` token ids.
+    pub fn new(vocab: usize, cfg: PredictorConfig, seed: u64) -> Self {
+        // FC head 16 → 1 per the paper.
+        let net = SequenceRegressor::new(vocab, cfg.dim, cfg.dim, cfg.encoder, &[16, 1], cfg.lr, seed);
+        PerformancePredictor { net }
+    }
+
+    /// Predicted downstream performance ("pseudo-performance") of a token
+    /// sequence.
+    pub fn predict(&self, seq: &[usize]) -> f64 {
+        self.net.predict(seq)[0]
+    }
+
+    /// One MSE training step toward an observed performance; returns the
+    /// pre-update loss (Eq. 3 summand).
+    pub fn train_step(&mut self, seq: &[usize], performance: f64) -> f64 {
+        self.net.train_step(seq, &[performance])
+    }
+
+    /// Parameter count (Fig. 11 memory accounting).
+    pub fn n_params(&self) -> usize {
+        self.net.n_params()
+    }
+
+    /// Parameter + activation memory estimate in bytes for a sequence of
+    /// `seq_len` tokens (Fig. 11).
+    pub fn memory_bytes(&self, seq_len: usize) -> usize {
+        self.net.memory_bytes(seq_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic ground truth: performance = fraction of a marker token.
+    fn perf_of(seq: &[usize]) -> f64 {
+        seq.iter().filter(|&&t| t == 3).count() as f64 / seq.len() as f64
+    }
+
+    fn training_data(seed: u64) -> Vec<Vec<usize>> {
+        use rand::Rng;
+        let mut rng = fastft_nn::init::rng(seed);
+        (0..30)
+            .map(|_| {
+                let len = rng.gen_range(4..12);
+                (0..len).map(|_| rng.gen_range(0..10)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predictor_learns_sequence_scores() {
+        let mut p = PerformancePredictor::new(
+            10,
+            PredictorConfig { dim: 16, lr: 5e-3, ..PredictorConfig::default() },
+            1,
+        );
+        let data = training_data(2);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..40 {
+            let mut total = 0.0;
+            for seq in &data {
+                total += p.train_step(seq, perf_of(seq));
+            }
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(last < 0.3 * first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let p = PerformancePredictor::new(8, PredictorConfig::default(), 3);
+        assert_eq!(p.predict(&[1, 2, 3]), p.predict(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn memory_reporting_positive_and_monotone() {
+        let p = PerformancePredictor::new(20, PredictorConfig::default(), 4);
+        assert!(p.n_params() > 0);
+        assert!(p.memory_bytes(50) > p.memory_bytes(5));
+    }
+}

@@ -1,0 +1,175 @@
+//! Aggregate statistics over a search run: which operations the agents
+//! favoured, how complex the surviving expressions are, and how exploration
+//! evolved — the quantitative backing for case studies like §VII.
+
+use crate::engine::RunResult;
+use crate::expr::Expr;
+use crate::ops::Op;
+
+/// Histogram of operation usage across a set of expressions.
+pub fn op_usage(exprs: &[Expr]) -> Vec<(Op, usize)> {
+    let mut counts = vec![0usize; Op::COUNT];
+    for e in exprs {
+        count_ops(e, &mut counts);
+    }
+    let mut out: Vec<(Op, usize)> =
+        Op::ALL.iter().copied().zip(counts).filter(|&(_, c)| c > 0).collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out
+}
+
+fn count_ops(e: &Expr, counts: &mut [usize]) {
+    match e {
+        Expr::Base(_) => {}
+        Expr::Unary(op, inner) => {
+            counts[op.index()] += 1;
+            count_ops(inner, counts);
+        }
+        Expr::Binary(op, l, r) => {
+            counts[op.index()] += 1;
+            count_ops(l, counts);
+            count_ops(r, counts);
+        }
+    }
+}
+
+/// Depth and size distribution of a feature set:
+/// `(max_depth, mean_depth, max_size, mean_size, generated_fraction)`.
+pub fn complexity(exprs: &[Expr]) -> (usize, f64, usize, f64, f64) {
+    if exprs.is_empty() {
+        return (0, 0.0, 0, 0.0, 0.0);
+    }
+    let depths: Vec<usize> = exprs.iter().map(Expr::depth).collect();
+    let sizes: Vec<usize> = exprs.iter().map(Expr::size).collect();
+    let generated = exprs.iter().filter(|e| !e.is_base()).count();
+    let n = exprs.len() as f64;
+    (
+        *depths.iter().max().unwrap(),
+        depths.iter().sum::<usize>() as f64 / n,
+        *sizes.iter().max().unwrap(),
+        sizes.iter().sum::<usize>() as f64 / n,
+        generated as f64 / n,
+    )
+}
+
+/// Per-episode exploration summary from a run's step records:
+/// `(episode, mean_reward, new_combinations, downstream_evals)`.
+pub fn episode_summary(result: &RunResult) -> Vec<(usize, f64, usize, usize)> {
+    let mut out: Vec<(usize, f64, usize, usize)> = Vec::new();
+    for r in &result.records {
+        if out.last().map(|l| l.0) != Some(r.episode) {
+            out.push((r.episode, 0.0, 0, 0));
+        }
+        let last = out.last_mut().unwrap();
+        last.1 += r.reward;
+        last.2 += usize::from(r.new_combination);
+        last.3 += usize::from(!r.predicted);
+    }
+    // Mean rewards.
+    let per: std::collections::HashMap<usize, usize> =
+        result.records.iter().fold(std::collections::HashMap::new(), |mut m, r| {
+            *m.entry(r.episode).or_insert(0) += 1;
+            m
+        });
+    for row in &mut out {
+        if let Some(&n) = per.get(&row.0) {
+            row.1 /= n.max(1) as f64;
+        }
+    }
+    out
+}
+
+/// The base features most often read by the generated expressions —
+/// Fig. 15-style "which raw signals drive the discovered features".
+pub fn base_feature_usage(exprs: &[Expr], n_base: usize) -> Vec<(usize, usize)> {
+    let mut counts = vec![0usize; n_base];
+    for e in exprs {
+        if e.is_base() {
+            continue;
+        }
+        for i in e.base_features() {
+            if i < n_base {
+                counts[i] += 1;
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> =
+        counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Expr> {
+        vec![
+            Expr::base(0),
+            Expr::binary(Op::Multiply, Expr::base(0), Expr::base(1)),
+            Expr::binary(
+                Op::Plus,
+                Expr::binary(Op::Multiply, Expr::base(1), Expr::base(2)),
+                Expr::unary(Op::Log, Expr::base(0)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn op_usage_counts_and_orders() {
+        let usage = op_usage(&sample());
+        assert_eq!(usage[0], (Op::Multiply, 2));
+        assert!(usage.contains(&(Op::Plus, 1)));
+        assert!(usage.contains(&(Op::Log, 1)));
+        assert_eq!(usage.len(), 3);
+    }
+
+    #[test]
+    fn complexity_statistics() {
+        let (max_d, mean_d, max_s, mean_s, gen_frac) = complexity(&sample());
+        assert_eq!(max_d, 3);
+        assert_eq!(max_s, 6);
+        assert!(mean_d > 1.0 && mean_d < 3.0);
+        assert!(mean_s > 1.0 && mean_s < 6.0);
+        assert!((gen_frac - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complexity_of_empty_set() {
+        assert_eq!(complexity(&[]), (0, 0.0, 0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn base_usage_ignores_plain_bases() {
+        let usage = base_feature_usage(&sample(), 4);
+        // f0 read by 2 generated exprs, f1 by 2, f2 by 1; plain `f0` row
+        // ignored.
+        assert_eq!(usage.iter().find(|&&(i, _)| i == 0).unwrap().1, 2);
+        assert_eq!(usage.iter().find(|&&(i, _)| i == 2).unwrap().1, 1);
+        assert!(usage.iter().all(|&(i, _)| i < 3));
+    }
+
+    #[test]
+    fn episode_summary_groups_by_episode() {
+        use crate::config::FastFtConfig;
+        use crate::engine::FastFt;
+        use fastft_ml::Evaluator;
+        let cfg = FastFtConfig {
+            episodes: 2,
+            steps_per_episode: 3,
+            cold_start_episodes: 1,
+            evaluator: Evaluator { folds: 3, ..Evaluator::default() },
+            ..FastFtConfig::default()
+        };
+        let spec = fastft_tabular::datagen::by_name("pima_indian").unwrap();
+        let mut d = fastft_tabular::datagen::generate_capped(spec, 80, 0);
+        d.sanitize();
+        let result = FastFt::new(cfg).fit(&d);
+        let summary = episode_summary(&result);
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, 0);
+        assert_eq!(summary[1].0, 1);
+        // Episode 0 is cold start: all 3 steps evaluated downstream.
+        assert_eq!(summary[0].3, 3);
+    }
+}

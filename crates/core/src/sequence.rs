@@ -1,0 +1,196 @@
+//! Feature-transformation token sequences (Definition 4, Fig. 2).
+//!
+//! A transformed feature set is serialised as a flat token stream: each
+//! feature's expression in postfix order, features separated by `Sep`,
+//! bracketed by `Start` / `End`. These sequences are the inputs of the
+//! Performance Predictor and Novelty Estimator.
+
+use crate::expr::Expr;
+use crate::ops::Op;
+
+/// A transformation-sequence token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Token {
+    /// Sequence start marker.
+    Start,
+    /// Sequence end marker.
+    End,
+    /// Separator between features.
+    Sep,
+    /// A base feature reference.
+    Feat(usize),
+    /// An operation.
+    Op(Op),
+}
+
+/// Maps tokens to dense embedding ids for a dataset with `n_base` original
+/// features. Layout: `[Start, End, Sep, Pad | ops… | feats…]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenVocab {
+    /// Number of base features the vocabulary covers.
+    pub n_base: usize,
+}
+
+const N_SPECIALS: usize = 4;
+
+impl TokenVocab {
+    /// Vocabulary for `n_base` base features.
+    pub fn new(n_base: usize) -> Self {
+        TokenVocab { n_base }
+    }
+
+    /// Total vocabulary size (embedding-table rows).
+    pub fn size(&self) -> usize {
+        N_SPECIALS + Op::COUNT + self.n_base
+    }
+
+    /// Dense id of a token.
+    ///
+    /// # Panics
+    /// Panics on a feature index `>= n_base`.
+    pub fn id(&self, tok: Token) -> usize {
+        match tok {
+            Token::Start => 0,
+            Token::End => 1,
+            Token::Sep => 2,
+            Token::Feat(i) => {
+                assert!(i < self.n_base, "feature {i} outside vocab of {}", self.n_base);
+                N_SPECIALS + Op::COUNT + i
+            }
+            Token::Op(op) => N_SPECIALS + op.index(),
+        }
+    }
+}
+
+/// Serialise a feature set (list of expressions) into token ids, truncated
+/// to `max_len` (keeping the `End` marker) so predictor inputs stay bounded.
+pub fn encode_feature_set(exprs: &[Expr], vocab: &TokenVocab, max_len: usize) -> Vec<usize> {
+    assert!(max_len >= 2, "need room for Start/End");
+    let mut ids = Vec::with_capacity(max_len.min(64));
+    ids.push(vocab.id(Token::Start));
+    'outer: for (k, e) in exprs.iter().enumerate() {
+        if k > 0 {
+            // Need room for the separator plus the trailing End marker.
+            if ids.len() + 2 > max_len {
+                break;
+            }
+            ids.push(vocab.id(Token::Sep));
+        }
+        for tok in postfix_tokens(e) {
+            if ids.len() + 1 >= max_len {
+                break 'outer;
+            }
+            ids.push(vocab.id(tok));
+        }
+    }
+    ids.push(vocab.id(Token::End));
+    ids
+}
+
+/// Postfix token stream of one expression.
+pub fn postfix_tokens(e: &Expr) -> Vec<Token> {
+    fn collect(e: &Expr, out: &mut Vec<Token>) {
+        match e {
+            Expr::Base(i) => out.push(Token::Feat(*i)),
+            Expr::Unary(op, inner) => {
+                collect(inner, out);
+                out.push(Token::Op(*op));
+            }
+            Expr::Binary(op, l, r) => {
+                collect(l, out);
+                collect(r, out);
+                out.push(Token::Op(*op));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(e.size());
+    collect(e, &mut out);
+    out
+}
+
+/// Canonical string key of a feature set — used to count "unencountered
+/// feature combinations" (Fig. 14b) and for novelty bookkeeping. Expression
+/// order within the set is normalised by sorting.
+pub fn canonical_key(exprs: &[Expr]) -> String {
+    let mut parts: Vec<String> = exprs.iter().map(Expr::to_string).collect();
+    parts.sort_unstable();
+    parts.join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exprs() -> Vec<Expr> {
+        vec![
+            Expr::binary(Op::Plus, Expr::base(0), Expr::base(1)),
+            Expr::base(2),
+        ]
+    }
+
+    #[test]
+    fn vocab_ids_are_unique_and_in_range() {
+        let v = TokenVocab::new(5);
+        let mut seen = std::collections::HashSet::new();
+        let mut all = vec![Token::Start, Token::End, Token::Sep];
+        all.extend(Op::ALL.map(Token::Op));
+        all.extend((0..5).map(Token::Feat));
+        for t in all {
+            let id = v.id(t);
+            assert!(id < v.size(), "{t:?} -> {id}");
+            assert!(seen.insert(id), "duplicate id for {t:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_structure() {
+        let v = TokenVocab::new(3);
+        let ids = encode_feature_set(&exprs(), &v, 64);
+        assert_eq!(ids[0], v.id(Token::Start));
+        assert_eq!(*ids.last().unwrap(), v.id(Token::End));
+        // f0 f1 + Sep f2
+        assert_eq!(
+            ids[1..ids.len() - 1],
+            [
+                v.id(Token::Feat(0)),
+                v.id(Token::Feat(1)),
+                v.id(Token::Op(Op::Plus)),
+                v.id(Token::Sep),
+                v.id(Token::Feat(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncation_respects_max_len() {
+        let v = TokenVocab::new(3);
+        let many: Vec<Expr> = (0..50).map(|_| exprs()[0].clone()).collect();
+        let ids = encode_feature_set(&many, &v, 16);
+        assert!(ids.len() <= 16);
+        assert_eq!(*ids.last().unwrap(), v.id(Token::End));
+    }
+
+    #[test]
+    fn different_sets_encode_differently() {
+        let v = TokenVocab::new(3);
+        let a = encode_feature_set(&exprs(), &v, 64);
+        let b = encode_feature_set(&[Expr::base(0)], &v, 64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn canonical_key_is_order_invariant() {
+        let mut e = exprs();
+        let k1 = canonical_key(&e);
+        e.reverse();
+        assert_eq!(k1, canonical_key(&e));
+        assert_ne!(k1, canonical_key(&[Expr::base(0)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oov_feature_panics() {
+        let v = TokenVocab::new(2);
+        let _ = v.id(Token::Feat(2));
+    }
+}

@@ -1,0 +1,123 @@
+//! State representations for the cascading agents (Fig. 4).
+//!
+//! Clusters and the overall feature set are represented by the fixed
+//! 49-dimensional "stats of stats" descriptor of
+//! [`fastft_tabular::stats::rep_of_columns`]; operations by a one-hot over
+//! the operation set. Candidate vectors for each agent are concatenations
+//! of these blocks exactly as Definition 3 prescribes.
+
+use crate::ops::Op;
+use fastft_tabular::stats::{rep_of_columns, REP_DIM};
+use fastft_tabular::Dataset;
+
+/// Dimensionality of a cluster / feature-set representation.
+pub const CLUSTER_REP_DIM: usize = REP_DIM;
+
+/// Representation of a feature cluster (subset of columns).
+pub fn rep_cluster(data: &Dataset, members: &[usize]) -> Vec<f64> {
+    rep_of_columns(members.iter().map(|&i| data.features[i].values.as_slice()))
+}
+
+/// Representation of the whole current feature set `Rep(F̂)`.
+pub fn rep_overall(data: &Dataset) -> Vec<f64> {
+    rep_of_columns(data.features.iter().map(|c| c.values.as_slice()))
+}
+
+/// One-hot representation of an operation.
+pub fn rep_op(op: Op) -> Vec<f64> {
+    let mut v = vec![0.0; Op::COUNT];
+    v[op.index()] = 1.0;
+    v
+}
+
+/// Head-agent candidate vector: `Rep(C_i) ⊕ Rep(F̂)`.
+pub fn head_candidate(cluster_rep: &[f64], overall_rep: &[f64]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(cluster_rep.len() + overall_rep.len());
+    v.extend_from_slice(cluster_rep);
+    v.extend_from_slice(overall_rep);
+    v
+}
+
+/// Input dimension of the head agent.
+pub const HEAD_DIM: usize = 2 * CLUSTER_REP_DIM;
+
+/// Operation-agent candidate vector: `Rep(a_h) ⊕ Rep(F̂) ⊕ onehot(op)`.
+pub fn op_candidate(head_rep: &[f64], overall_rep: &[f64], op: Op) -> Vec<f64> {
+    let mut v = Vec::with_capacity(head_rep.len() + overall_rep.len() + Op::COUNT);
+    v.extend_from_slice(head_rep);
+    v.extend_from_slice(overall_rep);
+    v.extend_from_slice(&rep_op(op));
+    v
+}
+
+/// Input dimension of the operation agent.
+pub const OP_DIM: usize = 2 * CLUSTER_REP_DIM + Op::COUNT;
+
+/// Tail-agent candidate vector:
+/// `Rep(a_h) ⊕ Rep(F̂) ⊕ onehot(a_o) ⊕ Rep(C_i)`.
+pub fn tail_candidate(head_rep: &[f64], overall_rep: &[f64], op: Op, cluster_rep: &[f64]) -> Vec<f64> {
+    let mut v =
+        Vec::with_capacity(head_rep.len() + overall_rep.len() + Op::COUNT + cluster_rep.len());
+    v.extend_from_slice(head_rep);
+    v.extend_from_slice(overall_rep);
+    v.extend_from_slice(&rep_op(op));
+    v.extend_from_slice(cluster_rep);
+    v
+}
+
+/// Input dimension of the tail agent.
+pub const TAIL_DIM: usize = 3 * CLUSTER_REP_DIM + Op::COUNT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::{Column, TaskType};
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "t",
+            vec![
+                Column::new("a", vec![1.0, 2.0, 3.0, 4.0]),
+                Column::new("b", vec![5.0, 6.0, 7.0, 8.0]),
+            ],
+            vec![0.0, 1.0, 0.0, 1.0],
+            TaskType::Classification,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dims_are_consistent() {
+        let d = toy();
+        let cr = rep_cluster(&d, &[0]);
+        let or = rep_overall(&d);
+        assert_eq!(cr.len(), CLUSTER_REP_DIM);
+        assert_eq!(or.len(), CLUSTER_REP_DIM);
+        assert_eq!(head_candidate(&cr, &or).len(), HEAD_DIM);
+        assert_eq!(op_candidate(&cr, &or, Op::Plus).len(), OP_DIM);
+        assert_eq!(tail_candidate(&cr, &or, Op::Plus, &cr).len(), TAIL_DIM);
+    }
+
+    #[test]
+    fn op_onehot_is_exact() {
+        let v = rep_op(Op::Multiply);
+        assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 1);
+        assert_eq!(v.iter().filter(|&&x| x == 0.0).count(), Op::COUNT - 1);
+        assert_eq!(v[Op::Multiply.index()], 1.0);
+    }
+
+    #[test]
+    fn different_clusters_different_reps() {
+        let d = toy();
+        assert_ne!(rep_cluster(&d, &[0]), rep_cluster(&d, &[1]));
+    }
+
+    #[test]
+    fn overall_rep_changes_when_features_change() {
+        let mut d = toy();
+        let before = rep_overall(&d);
+        d.push_feature(Column::new("c", vec![100.0, 200.0, 300.0, 400.0]));
+        assert_ne!(before, rep_overall(&d));
+    }
+}

@@ -1,0 +1,29 @@
+//! From-scratch downstream machine-learning models.
+//!
+//! These models are the paper's "downstream task": the expensive evaluation
+//! `A(T(F), y)` whose runtime FASTFT works to avoid. Implemented here:
+//!
+//! - [`tree`]: CART decision trees (gini / variance criteria) with impurity
+//!   feature importances.
+//! - [`forest`]: bagged random forests, the default evaluator model used in
+//!   the paper's main tables.
+//! - [`boosting`]: gradient-boosted trees (the XGBoost stand-in of
+//!   Table III).
+//! - [`linear`]: logistic regression, ridge regression/classifier, linear
+//!   SVM.
+//! - [`knn`]: brute-force k-nearest-neighbours.
+//! - [`evaluator`]: the unified k-fold cross-validation evaluator producing
+//!   the paper's metrics.
+
+pub mod boosting;
+pub mod evaluator;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod naive_bayes;
+pub mod preprocess;
+pub mod tree;
+
+pub use evaluator::{Evaluator, ModelKind};
+pub use forest::{RandomForestClassifier, RandomForestRegressor};
+pub use tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor};

@@ -1,0 +1,447 @@
+//! Linear downstream models: multinomial logistic regression, ridge
+//! regression / ridge classifier (closed form via Cholesky), and a linear
+//! SVM trained with hinge-loss SGD (one-vs-rest).
+//!
+//! All models standardise their inputs internally; see
+//! [`crate::preprocess::Standardizer`].
+
+use crate::preprocess::Standardizer;
+use crate::tree::argmax;
+use rand::Rng;
+
+/// Multinomial (softmax) logistic regression trained with mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub lr: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// L2 penalty.
+    pub l2: f64,
+    seed: u64,
+    // weights[c] has dim d+1 (bias last)
+    weights: Vec<Vec<f64>>,
+    scaler: Option<Standardizer>,
+}
+
+impl LogisticRegression {
+    /// Create with the workspace-default hyperparameters.
+    pub fn new(seed: u64) -> Self {
+        Self { lr: 0.1, epochs: 40, l2: 1e-4, seed, weights: Vec::new(), scaler: None }
+    }
+
+    /// Fit on column-major features and integer labels.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let n = y.len();
+        let d = columns.len();
+        let scaler = Standardizer::fit(columns);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut r: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+                scaler.transform_row(&mut r);
+                r
+            })
+            .collect();
+        let mut w = vec![vec![0.0; d + 1]; n_classes];
+        let mut rng = fastft_tabular::rngx::rng(self.seed);
+        for _ in 0..self.epochs {
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                let p = softmax_logits(&w, &rows[i]);
+                for (c, wc) in w.iter_mut().enumerate() {
+                    let err = p[c] - f64::from(u8::from(y[i] == c));
+                    for (j, &x) in rows[i].iter().enumerate() {
+                        wc[j] -= self.lr * (err * x + self.l2 * wc[j]);
+                    }
+                    let db = wc[d];
+                    wc[d] = db - self.lr * err;
+                }
+            }
+        }
+        self.weights = w;
+        self.scaler = Some(scaler);
+    }
+
+    /// Class-probability vector for one (raw, unscaled) row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("fit first");
+        let mut r = row.to_vec();
+        scaler.transform_row(&mut r);
+        softmax_logits(&self.weights, &r)
+    }
+
+    /// Hard labels for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| argmax(&self.predict_proba_row(r))).collect()
+    }
+
+    /// Positive-class scores for a row-major batch.
+    pub fn predict_scores(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let c = 1.min(self.weights.len().saturating_sub(1));
+        rows.iter().map(|r| self.predict_proba_row(r)[c]).collect()
+    }
+}
+
+fn softmax_logits(w: &[Vec<f64>], row: &[f64]) -> Vec<f64> {
+    let d = row.len();
+    let logits: Vec<f64> = w
+        .iter()
+        .map(|wc| wc[..d].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + wc[d])
+        .collect();
+    softmax(&logits)
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::MIN, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Ridge regression solved in closed form: `(XᵀX + λI) w = Xᵀy` by Cholesky.
+#[derive(Debug, Clone)]
+pub struct RidgeRegressor {
+    /// L2 penalty λ.
+    pub lambda: f64,
+    weights: Vec<f64>, // dim d+1, bias last
+    scaler: Option<Standardizer>,
+}
+
+impl RidgeRegressor {
+    /// Create with penalty λ.
+    pub fn new(lambda: f64) -> Self {
+        Self { lambda, weights: Vec::new(), scaler: None }
+    }
+
+    /// Fit on column-major features and real targets.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[f64]) {
+        let n = y.len();
+        let d = columns.len();
+        let scaler = Standardizer::fit(columns);
+        // Augmented design matrix rows with trailing 1 for the intercept.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut r: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+                scaler.transform_row(&mut r);
+                r.push(1.0);
+                r
+            })
+            .collect();
+        let dim = d + 1;
+        let mut xtx = vec![0.0; dim * dim];
+        let mut xty = vec![0.0; dim];
+        for (r, &t) in rows.iter().zip(y) {
+            for i in 0..dim {
+                xty[i] += r[i] * t;
+                for j in i..dim {
+                    xtx[i * dim + j] += r[i] * r[j];
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in 0..i {
+                xtx[i * dim + j] = xtx[j * dim + i];
+            }
+            // Do not penalise the intercept.
+            if i < d {
+                xtx[i * dim + i] += self.lambda;
+            } else {
+                xtx[i * dim + i] += 1e-9;
+            }
+        }
+        self.weights = cholesky_solve(&xtx, &xty, dim).unwrap_or_else(|| vec![0.0; dim]);
+        self.scaler = Some(scaler);
+    }
+
+    /// Prediction for one raw row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("fit first");
+        let mut r = row.to_vec();
+        scaler.transform_row(&mut r);
+        let d = r.len();
+        self.weights[..d].iter().zip(&r).map(|(a, b)| a * b).sum::<f64>() + self.weights[d]
+    }
+
+    /// Predictions for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` (row-major, `n×n`).
+/// Returns `None` if the factorisation fails (matrix not SPD).
+pub fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L z = b
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * z[k];
+        }
+        z[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ x = z
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// Ridge classifier: one-vs-rest ridge regression on ±1 targets, predict by
+/// the largest margin (sklearn's `RidgeClassifier` construction).
+#[derive(Debug, Clone)]
+pub struct RidgeClassifier {
+    /// L2 penalty λ.
+    pub lambda: f64,
+    heads: Vec<RidgeRegressor>,
+}
+
+impl RidgeClassifier {
+    /// Create with penalty λ.
+    pub fn new(lambda: f64) -> Self {
+        Self { lambda, heads: Vec::new() }
+    }
+
+    /// Fit on column-major features and integer labels.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        self.heads = (0..n_classes)
+            .map(|c| {
+                let targets: Vec<f64> =
+                    y.iter().map(|&yi| if yi == c { 1.0 } else { -1.0 }).collect();
+                let mut head = RidgeRegressor::new(self.lambda);
+                head.fit(columns, &targets);
+                head
+            })
+            .collect();
+    }
+
+    /// Per-class margins for one row.
+    pub fn decision_row(&self, row: &[f64]) -> Vec<f64> {
+        self.heads.iter().map(|h| h.predict_row(row)).collect()
+    }
+
+    /// Hard labels for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| argmax(&self.decision_row(r))).collect()
+    }
+
+    /// Positive-class margins for AUC.
+    pub fn predict_scores(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let c = 1.min(self.heads.len().saturating_sub(1));
+        rows.iter().map(|r| self.decision_row(r)[c]).collect()
+    }
+}
+
+/// Linear SVM trained with hinge-loss SGD, one-vs-rest for multiclass.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularisation strength (weight of the L2 term).
+    pub lambda: f64,
+    /// Number of SGD epochs.
+    pub epochs: usize,
+    seed: u64,
+    weights: Vec<Vec<f64>>, // per class, dim d+1 (bias last)
+    scaler: Option<Standardizer>,
+}
+
+impl LinearSvm {
+    /// Create with the workspace-default hyperparameters.
+    pub fn new(seed: u64) -> Self {
+        Self { lambda: 1e-4, epochs: 40, seed, weights: Vec::new(), scaler: None }
+    }
+
+    /// Fit on column-major features and integer labels.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let n = y.len();
+        let d = columns.len();
+        let scaler = Standardizer::fit(columns);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut r: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+                scaler.transform_row(&mut r);
+                r
+            })
+            .collect();
+        let mut rng = fastft_tabular::rngx::rng(self.seed);
+        let mut w = vec![vec![0.0; d + 1]; n_classes];
+        let mut step = 0usize;
+        for _ in 0..self.epochs {
+            for _ in 0..n {
+                step += 1;
+                let lr = 1.0 / (self.lambda * step as f64 + 100.0); // Pegasos-style decay
+                let i = rng.gen_range(0..n);
+                for (c, wc) in w.iter_mut().enumerate() {
+                    let t = if y[i] == c { 1.0 } else { -1.0 };
+                    let margin = t
+                        * (wc[..d].iter().zip(&rows[i]).map(|(a, b)| a * b).sum::<f64>() + wc[d]);
+                    for j in 0..d {
+                        let grad = self.lambda * wc[j]
+                            - if margin < 1.0 { t * rows[i][j] } else { 0.0 };
+                        wc[j] -= lr * grad;
+                    }
+                    if margin < 1.0 {
+                        wc[d] += lr * t;
+                    }
+                }
+            }
+        }
+        self.weights = w;
+        self.scaler = Some(scaler);
+    }
+
+    /// Per-class margins for one raw row.
+    pub fn decision_row(&self, row: &[f64]) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("fit first");
+        let mut r = row.to_vec();
+        scaler.transform_row(&mut r);
+        let d = r.len();
+        self.weights
+            .iter()
+            .map(|wc| wc[..d].iter().zip(&r).map(|(a, b)| a * b).sum::<f64>() + wc[d])
+            .collect()
+    }
+
+    /// Hard labels for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| argmax(&self.decision_row(r))).collect()
+    }
+
+    /// Positive-class margins for AUC.
+    pub fn predict_scores(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let c = 1.min(self.weights.len().saturating_sub(1));
+        rows.iter().map(|r| self.decision_row(r)[c]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::rngx;
+
+    fn linear_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = rngx::rng(seed);
+        let a = rngx::normal_vec(&mut rng, n);
+        let b = rngx::normal_vec(&mut rng, n);
+        let y: Vec<usize> =
+            a.iter().zip(&b).map(|(&x, &z)| usize::from(x + 0.5 * z > 0.0)).collect();
+        (vec![a, b], y)
+    }
+
+    fn rows_of(cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        (0..cols[0].len()).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
+    }
+
+    #[test]
+    fn logistic_separates_linear_data() {
+        let (cols, y) = linear_data(500, 1);
+        let mut m = LogisticRegression::new(0);
+        m.fit(&cols, &y, 2);
+        let acc = fastft_tabular::metrics::accuracy(&y, &m.predict(&rows_of(&cols)));
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_multiclass_probabilities() {
+        let mut rng = rngx::rng(2);
+        let x = rngx::normal_vec(&mut rng, 300);
+        let y: Vec<usize> =
+            x.iter().map(|&v| if v < -0.5 { 0 } else if v < 0.5 { 1 } else { 2 }).collect();
+        let cols = vec![x];
+        let mut m = LogisticRegression::new(0);
+        m.fit(&cols, &y, 3);
+        let p = m.predict_proba_row(&[2.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(argmax(&p), 2);
+        let p = m.predict_proba_row(&[-2.0]);
+        assert_eq!(argmax(&p), 0);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[1] > p[0]);
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![2.0, 1.0];
+        let x = cholesky_solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        let mut rng = rngx::rng(3);
+        let a = rngx::normal_vec(&mut rng, 400);
+        let b = rngx::normal_vec(&mut rng, 400);
+        let y: Vec<f64> = a.iter().zip(&b).map(|(&x, &z)| 3.0 * x - 2.0 * z + 1.0).collect();
+        let cols = vec![a.clone(), b.clone()];
+        let mut m = RidgeRegressor::new(1e-6);
+        m.fit(&cols, &y);
+        let pred = m.predict(&rows_of(&cols));
+        let score = fastft_tabular::metrics::one_minus_rae(&y, &pred);
+        assert!(score > 0.99, "1-RAE {score}");
+    }
+
+    #[test]
+    fn ridge_classifier_works() {
+        let (cols, y) = linear_data(400, 4);
+        let mut m = RidgeClassifier::new(1.0);
+        m.fit(&cols, &y, 2);
+        let acc = fastft_tabular::metrics::accuracy(&y, &m.predict(&rows_of(&cols)));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn svm_separates_linear_data() {
+        let (cols, y) = linear_data(400, 5);
+        let mut m = LinearSvm::new(0);
+        m.fit(&cols, &y, 2);
+        let acc = fastft_tabular::metrics::accuracy(&y, &m.predict(&rows_of(&cols)));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn svm_scores_rank_positives() {
+        let (cols, y) = linear_data(400, 6);
+        let mut m = LinearSvm::new(0);
+        m.fit(&cols, &y, 2);
+        let auc = fastft_tabular::metrics::auc(&y, &m.predict_scores(&rows_of(&cols)));
+        assert!(auc > 0.95, "auc {auc}");
+    }
+}

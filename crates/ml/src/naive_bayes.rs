@@ -1,0 +1,161 @@
+//! Gaussian naive Bayes — a fast probabilistic classifier rounding out the
+//! downstream-model zoo (useful as a cheap evaluator and as an extra
+//! robustness-check model beyond the paper's six).
+
+use crate::tree::argmax;
+
+/// Gaussian naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    // per class: prior, per-feature (mean, var)
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianNb {
+    /// Create an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit on column-major features and integer labels.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let d = columns.len();
+        let n = y.len();
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0; d]; n_classes];
+        for (i, &yi) in y.iter().enumerate() {
+            counts[yi] += 1;
+            for (j, col) in columns.iter().enumerate() {
+                means[yi][j] += col[i];
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let mut vars = vec![vec![0.0; d]; n_classes];
+        for (i, &yi) in y.iter().enumerate() {
+            for (j, col) in columns.iter().enumerate() {
+                let diff = col[i] - means[yi][j];
+                vars[yi][j] += diff * diff;
+            }
+        }
+        // Variance smoothing (sklearn-style epsilon) keeps degenerate
+        // columns from producing infinite densities.
+        let global_var: f64 = columns
+            .iter()
+            .map(|col| {
+                let mean = col.iter().sum::<f64>() / n.max(1) as f64;
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n.max(1) as f64
+            })
+            .sum::<f64>()
+            / d.max(1) as f64;
+        let eps = 1e-9 * global_var.max(1e-9);
+        for (v, &c) in vars.iter_mut().zip(&counts) {
+            for var in v.iter_mut() {
+                *var = *var / c.max(1) as f64 + eps;
+            }
+        }
+        self.priors = counts.iter().map(|&c| (c.max(1) as f64 / n as f64).ln()).collect();
+        self.means = means;
+        self.vars = vars;
+    }
+
+    /// Per-class log joint likelihoods for one row.
+    pub fn log_joint(&self, row: &[f64]) -> Vec<f64> {
+        self.priors
+            .iter()
+            .enumerate()
+            .map(|(c, &prior)| {
+                let mut ll = prior;
+                for (j, &x) in row.iter().enumerate() {
+                    let var = self.vars[c][j];
+                    let diff = x - self.means[c][j];
+                    ll += -0.5 * ((std::f64::consts::TAU * var).ln() + diff * diff / var);
+                }
+                ll
+            })
+            .collect()
+    }
+
+    /// Hard labels for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| argmax(&self.log_joint(r))).collect()
+    }
+
+    /// Positive-class posterior scores for AUC.
+    pub fn predict_scores(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let c = 1.min(self.priors.len().saturating_sub(1));
+        rows.iter()
+            .map(|r| {
+                let lj = self.log_joint(r);
+                let max = lj.iter().cloned().fold(f64::MIN, f64::max);
+                let exps: Vec<f64> = lj.iter().map(|&l| (l - max).exp()).collect();
+                exps[c] / exps.iter().sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::rngx;
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let mut rng = rngx::rng(1);
+        let n = 300;
+        let mut col = Vec::with_capacity(2 * n);
+        let mut y = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            col.push(rngx::normal(&mut rng) - 2.0);
+            y.push(0usize);
+        }
+        for _ in 0..n {
+            col.push(rngx::normal(&mut rng) + 2.0);
+            y.push(1usize);
+        }
+        let mut nb = GaussianNb::new();
+        nb.fit(&[col.clone()], &y, 2);
+        let rows: Vec<Vec<f64>> = col.iter().map(|&v| vec![v]).collect();
+        let acc = fastft_tabular::metrics::accuracy(&y, &nb.predict(&rows));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn priors_influence_ties() {
+        // Identical per-class feature distributions (mean 0, var 1), but
+        // class 1 is three times more common -> the prior decides.
+        let col = vec![-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0];
+        let y = vec![0, 0, 1, 1, 1, 1, 1, 1];
+        let mut nb = GaussianNb::new();
+        nb.fit(&[col], &y, 2);
+        assert_eq!(nb.predict(&[vec![0.0]]), vec![1]);
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let cols = vec![vec![1.0; 10], (0..10).map(f64::from).collect()];
+        let y: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let mut nb = GaussianNb::new();
+        nb.fit(&cols, &y, 2);
+        let lj = nb.log_joint(&[1.0, 7.0]);
+        assert!(lj.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let cols = vec![(0..20).map(f64::from).collect::<Vec<_>>()];
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let mut nb = GaussianNb::new();
+        nb.fit(&cols, &y, 2);
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        for s in nb.predict_scores(&rows) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

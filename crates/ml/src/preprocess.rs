@@ -1,0 +1,77 @@
+//! Feature standardisation fit on training data and applied to held-out
+//! data, used by the linear models and kNN.
+
+/// Per-feature mean/std scaler.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on column-major features.
+    pub fn fit(columns: &[Vec<f64>]) -> Self {
+        let mut means = Vec::with_capacity(columns.len());
+        let mut stds = Vec::with_capacity(columns.len());
+        for col in columns {
+            let n = col.len().max(1) as f64;
+            let mean = col.iter().sum::<f64>() / n;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            means.push(mean);
+            // Constant columns scale to zero rather than exploding.
+            stds.push(if var > 1e-24 { var.sqrt() } else { 1.0 });
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Transform a single row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a row-major batch, returning a new matrix.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut r = r.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+
+    /// Number of features the scaler was fit on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_train_has_zero_mean_unit_std() {
+        let cols = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 20.0, 20.0]];
+        let s = Standardizer::fit(&cols);
+        let rows: Vec<Vec<f64>> = (0..4).map(|i| vec![cols[0][i], cols[1][i]]).collect();
+        let t = s.transform(&rows);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 4.0;
+            let var: f64 = t.iter().map(|r| r[j] * r[j]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let cols = vec![vec![7.0; 5]];
+        let s = Standardizer::fit(&cols);
+        let mut row = vec![7.0];
+        s.transform_row(&mut row);
+        assert_eq!(row[0], 0.0);
+    }
+}

@@ -1,0 +1,515 @@
+//! CART decision trees over column-major data.
+//!
+//! One generic builder serves both classification (gini impurity, class
+//! distribution leaves) and regression (variance impurity, mean leaves).
+//! Split search sorts the node's rows per candidate feature and scans all
+//! boundaries with prefix statistics — `O(rows · log rows · features)` per
+//! node, which is the textbook exact CART procedure.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tree growth hyperparameters shared by every tree-based model here.
+#[derive(Debug, Clone, Copy)]
+pub struct CartParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child after a split.
+    pub min_samples_leaf: usize,
+    /// Candidate features per split: `None` = all, `Some(k)` = random k
+    /// (random-forest style column subsampling).
+    pub max_features: Option<usize>,
+}
+
+impl Default for CartParams {
+    fn default() -> Self {
+        CartParams { max_depth: 8, min_samples_split: 4, min_samples_leaf: 2, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Leaf payload: class distribution (classification) or `[mean]`
+    /// (regression).
+    Leaf { value: Vec<f64> },
+}
+
+/// Internal target abstraction so one builder serves both task families.
+trait Criterion {
+    /// Aggregated sufficient statistics of a sample subset.
+    type Stats: Clone;
+    fn stats(&self, rows: &[usize]) -> Self::Stats;
+    fn impurity(&self, s: &Self::Stats, n: usize) -> f64;
+    fn add(&self, s: &mut Self::Stats, row: usize);
+    fn sub(&self, s: &mut Self::Stats, row: usize);
+    fn leaf_value(&self, s: &Self::Stats, n: usize) -> Vec<f64>;
+}
+
+struct GiniCriterion<'a> {
+    y: &'a [usize],
+    n_classes: usize,
+}
+
+impl Criterion for GiniCriterion<'_> {
+    type Stats = Vec<f64>;
+
+    fn stats(&self, rows: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_classes];
+        for &r in rows {
+            counts[self.y[r]] += 1.0;
+        }
+        counts
+    }
+
+    fn impurity(&self, counts: &Vec<f64>, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        1.0 - counts.iter().map(|c| (c / n) * (c / n)).sum::<f64>()
+    }
+
+    fn add(&self, s: &mut Vec<f64>, row: usize) {
+        s[self.y[row]] += 1.0;
+    }
+
+    fn sub(&self, s: &mut Vec<f64>, row: usize) {
+        s[self.y[row]] -= 1.0;
+    }
+
+    fn leaf_value(&self, counts: &Vec<f64>, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return vec![1.0 / self.n_classes as f64; self.n_classes];
+        }
+        counts.iter().map(|c| c / n as f64).collect()
+    }
+}
+
+struct VarCriterion<'a> {
+    y: &'a [f64],
+}
+
+impl Criterion for VarCriterion<'_> {
+    /// `(sum, sum_sq)`
+    type Stats = (f64, f64);
+
+    fn stats(&self, rows: &[usize]) -> (f64, f64) {
+        let mut s = (0.0, 0.0);
+        for &r in rows {
+            s.0 += self.y[r];
+            s.1 += self.y[r] * self.y[r];
+        }
+        s
+    }
+
+    fn impurity(&self, &(sum, sq): &(f64, f64), n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        (sq / n - (sum / n) * (sum / n)).max(0.0)
+    }
+
+    fn add(&self, s: &mut (f64, f64), row: usize) {
+        s.0 += self.y[row];
+        s.1 += self.y[row] * self.y[row];
+    }
+
+    fn sub(&self, s: &mut (f64, f64), row: usize) {
+        s.0 -= self.y[row];
+        s.1 -= self.y[row] * self.y[row];
+    }
+
+    fn leaf_value(&self, &(sum, _): &(f64, f64), n: usize) -> Vec<f64> {
+        vec![if n == 0 { 0.0 } else { sum / n as f64 }]
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cart {
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+}
+
+impl Cart {
+    fn fit<C: Criterion>(
+        columns: &[Vec<f64>],
+        crit: &C,
+        params: &CartParams,
+        rows: Vec<usize>,
+        rng: &mut StdRng,
+    ) -> Cart {
+        let n_features = columns.len();
+        let n_total = rows.len();
+        let mut tree = Cart { nodes: Vec::new(), importances: vec![0.0; n_features] };
+        tree.grow(columns, crit, params, rows, 0, n_total, rng);
+        // Normalise importances to sum to 1 when any split happened.
+        let total: f64 = tree.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut tree.importances {
+                *imp /= total;
+            }
+        }
+        tree
+    }
+
+    /// Recursively grow a subtree; returns its root node index.
+    #[allow(clippy::too_many_arguments)]
+    fn grow<C: Criterion>(
+        &mut self,
+        columns: &[Vec<f64>],
+        crit: &C,
+        params: &CartParams,
+        rows: Vec<usize>,
+        depth: usize,
+        n_total: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n = rows.len();
+        let stats = crit.stats(&rows);
+        let impurity = crit.impurity(&stats, n);
+
+        let make_leaf = depth >= params.max_depth
+            || n < params.min_samples_split
+            || impurity <= 1e-12;
+        if !make_leaf {
+            if let Some((feature, threshold, gain, left_rows, right_rows)) =
+                best_split(columns, crit, params, &rows, impurity, rng)
+            {
+                self.importances[feature] += gain * n as f64 / n_total as f64;
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                let left = self.grow(columns, crit, params, left_rows, depth + 1, n_total, rng);
+                let right = self.grow(columns, crit, params, right_rows, depth + 1, n_total, rng);
+                if let Node::Split { left: l, right: r, .. } = &mut self.nodes[idx] {
+                    *l = left;
+                    *r = right;
+                }
+                return idx;
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: crit.leaf_value(&stats, n) });
+        idx
+    }
+
+    fn predict_row(&self, row: &[f64]) -> &[f64] {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+                Node::Leaf { value } => return value,
+            }
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Exhaustive best split over (subsampled) features.
+///
+/// Returns `(feature, threshold, impurity_decrease, left_rows, right_rows)`.
+#[allow(clippy::type_complexity)]
+fn best_split<C: Criterion>(
+    columns: &[Vec<f64>],
+    crit: &C,
+    params: &CartParams,
+    rows: &[usize],
+    parent_impurity: f64,
+    rng: &mut StdRng,
+) -> Option<(usize, f64, f64, Vec<usize>, Vec<usize>)> {
+    let n = rows.len();
+    let n_features = columns.len();
+    let feature_idx: Vec<usize> = match params.max_features {
+        Some(k) if k < n_features => {
+            // Partial Fisher–Yates over feature indices.
+            let mut idx: Vec<usize> = (0..n_features).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n_features);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        }
+        _ => (0..n_features).collect(),
+    };
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut sorted = rows.to_vec();
+    for &f in &feature_idx {
+        let col = &columns[f];
+        sorted.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left = crit.stats(&[]);
+        let mut right = crit.stats(&sorted);
+        for (i, &r) in sorted.iter().enumerate().take(n - 1) {
+            crit.add(&mut left, r);
+            crit.sub(&mut right, r);
+            let n_left = i + 1;
+            let n_right = n - n_left;
+            // Can't split between equal values.
+            if col[sorted[i]] == col[sorted[i + 1]] {
+                continue;
+            }
+            if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                continue;
+            }
+            let child = (n_left as f64 * crit.impurity(&left, n_left)
+                + n_right as f64 * crit.impurity(&right, n_right))
+                / n as f64;
+            let gain = parent_impurity - child;
+            if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                let threshold = 0.5 * (col[sorted[i]] + col[sorted[i + 1]]);
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    best.map(|(feature, threshold, gain)| {
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| columns[feature][r] <= threshold);
+        (feature, threshold, gain, left_rows, right_rows)
+    })
+}
+
+/// A CART classifier. Fit on column-major features and integer labels.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    params: CartParams,
+    seed: u64,
+    tree: Option<Cart>,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Create an unfitted tree.
+    pub fn new(params: CartParams, seed: u64) -> Self {
+        Self { params, seed, tree: None, n_classes: 0 }
+    }
+
+    /// Fit on column-major features.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let mut rng = fastft_tabular::rngx::rng(self.seed);
+        let crit = GiniCriterion { y, n_classes };
+        let rows: Vec<usize> = (0..y.len()).collect();
+        self.tree = Some(Cart::fit(columns, &crit, &self.params, rows, &mut rng));
+        self.n_classes = n_classes;
+    }
+
+    /// Class-probability vector for one row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        self.tree.as_ref().expect("fit first").predict_row(row).to_vec()
+    }
+
+    /// Hard label for one row.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        argmax(self.tree.as_ref().expect("fit first").predict_row(row))
+    }
+
+    /// Hard labels for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Normalised impurity-decrease feature importances.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.tree.as_ref().expect("fit first").importances
+    }
+
+    /// Total node count (for complexity reporting).
+    pub fn n_nodes(&self) -> usize {
+        self.tree.as_ref().map_or(0, Cart::n_nodes)
+    }
+}
+
+/// A CART regressor.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    params: CartParams,
+    seed: u64,
+    tree: Option<Cart>,
+}
+
+impl DecisionTreeRegressor {
+    /// Create an unfitted tree.
+    pub fn new(params: CartParams, seed: u64) -> Self {
+        Self { params, seed, tree: None }
+    }
+
+    /// Fit on column-major features.
+    pub fn fit(&mut self, columns: &[Vec<f64>], y: &[f64]) {
+        let mut rng = fastft_tabular::rngx::rng(self.seed);
+        let crit = VarCriterion { y };
+        let rows: Vec<usize> = (0..y.len()).collect();
+        self.tree = Some(Cart::fit(columns, &crit, &self.params, rows, &mut rng));
+    }
+
+    /// Fit restricted to a row subset (used by bagging and boosting).
+    pub fn fit_rows(&mut self, columns: &[Vec<f64>], y: &[f64], rows: Vec<usize>) {
+        let mut rng = fastft_tabular::rngx::rng(self.seed);
+        let crit = VarCriterion { y };
+        self.tree = Some(Cart::fit(columns, &crit, &self.params, rows, &mut rng));
+    }
+
+    /// Predicted value for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.tree.as_ref().expect("fit first").predict_row(row)[0]
+    }
+
+    /// Predicted values for a row-major batch.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Normalised impurity-decrease feature importances.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.tree.as_ref().expect("fit first").importances
+    }
+}
+
+/// Classification tree with a row subset and bootstrap weighting support,
+/// used internally by the random forest.
+pub(crate) fn fit_classifier_rows(
+    columns: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    params: &CartParams,
+    rows: Vec<usize>,
+    seed: u64,
+) -> DecisionTreeClassifier {
+    let mut rng = fastft_tabular::rngx::rng(seed);
+    let crit = GiniCriterion { y, n_classes };
+    let tree = Cart::fit(columns, &crit, params, rows, &mut rng);
+    DecisionTreeClassifier { params: *params, seed, tree: Some(tree), n_classes }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastft_tabular::rngx;
+
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = rngx::rng(seed);
+        let a = rngx::normal_vec(&mut rng, n);
+        let b = rngx::normal_vec(&mut rng, n);
+        let y: Vec<usize> =
+            a.iter().zip(&b).map(|(&x, &z)| usize::from((x > 0.0) != (z > 0.0))).collect();
+        (vec![a, b], y)
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        let (cols, y) = xor_data(400, 1);
+        let mut t = DecisionTreeClassifier::new(CartParams::default(), 0);
+        t.fit(&cols, &y, 2);
+        let rows: Vec<Vec<f64>> = (0..y.len()).map(|i| vec![cols[0][i], cols[1][i]]).collect();
+        let pred = t.predict(&rows);
+        let acc = fastft_tabular::metrics::accuracy(&y, &pred);
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn classifier_pure_node_is_leaf() {
+        let cols = vec![vec![1.0, 2.0, 3.0, 4.0]];
+        let y = vec![1, 1, 1, 1];
+        let mut t = DecisionTreeClassifier::new(CartParams::default(), 0);
+        t.fit(&cols, &y, 2);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict_row(&[10.0]), 1);
+    }
+
+    #[test]
+    fn depth_zero_predicts_majority() {
+        let cols = vec![vec![0.0, 1.0, 2.0, 3.0, 4.0]];
+        let y = vec![0, 0, 0, 1, 1];
+        let params = CartParams { max_depth: 0, ..CartParams::default() };
+        let mut t = DecisionTreeClassifier::new(params, 0);
+        t.fit(&cols, &y, 2);
+        assert_eq!(t.predict_row(&[4.0]), 0);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let (cols, y) = xor_data(200, 2);
+        let mut t = DecisionTreeClassifier::new(CartParams::default(), 0);
+        t.fit(&cols, &y, 2);
+        let p = t.predict_proba_row(&[0.3, -0.2]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn regressor_fits_step_function() {
+        let cols = vec![(0..100).map(|i| i as f64).collect::<Vec<_>>()];
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTreeRegressor::new(CartParams::default(), 0);
+        t.fit(&cols, &y);
+        assert!((t.predict_row(&[10.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict_row(&[90.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_reduces_variance_vs_mean() {
+        let mut rng = rngx::rng(3);
+        let x = rngx::normal_vec(&mut rng, 300);
+        let y: Vec<f64> = x.iter().map(|v| v * v + 0.1 * rngx::normal(&mut rng)).collect();
+        let cols = vec![x.clone()];
+        let mut t = DecisionTreeRegressor::new(CartParams::default(), 0);
+        t.fit(&cols, &y);
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let pred = t.predict(&rows);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let mse_tree: f64 =
+            y.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64;
+        let mse_mean: f64 =
+            y.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / y.len() as f64;
+        assert!(mse_tree < 0.3 * mse_mean, "tree {mse_tree} vs mean {mse_mean}");
+    }
+
+    #[test]
+    fn importances_identify_informative_feature() {
+        let mut rng = rngx::rng(4);
+        let signal = rngx::normal_vec(&mut rng, 300);
+        let noise = rngx::normal_vec(&mut rng, 300);
+        let y: Vec<usize> = signal.iter().map(|&s| usize::from(s > 0.0)).collect();
+        let cols = vec![noise, signal];
+        let mut t = DecisionTreeClassifier::new(CartParams::default(), 0);
+        t.fit(&cols, &y, 2);
+        let imp = t.feature_importances();
+        assert!(imp[1] > imp[0], "{imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let cols = vec![(0..10).map(|i| i as f64).collect::<Vec<_>>()];
+        let y = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let params = CartParams { min_samples_leaf: 6, ..CartParams::default() };
+        let mut t = DecisionTreeClassifier::new(params, 0);
+        t.fit(&cols, &y, 2);
+        // No split can give both children >= 6 of 10 samples.
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Fully-connected layer with optional fused activation.
+
+use crate::activation::Activation;
+use crate::init;
+use crate::matrix::{Matrix, Tensor};
+use rand::rngs::StdRng;
+
+/// `y = act(x @ W + b)` with `W: in×out`, `b: 1×out`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix (`in_dim × out_dim`).
+    pub w: Tensor,
+    /// Bias row (`1 × out_dim`).
+    pub b: Tensor,
+    /// Fused activation.
+    pub act: Activation,
+    cache_x: Option<Matrix>,
+    cache_y: Option<Matrix>,
+}
+
+impl Dense {
+    /// Xavier-initialised layer.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut StdRng) -> Self {
+        Dense {
+            w: Tensor::from_matrix(init::xavier(rng, in_dim, out_dim)),
+            b: Tensor::zeros(1, out_dim),
+            act,
+            cache_x: None,
+            cache_y: None,
+        }
+    }
+
+    /// Orthogonally-initialised layer (used by the RND target network).
+    pub fn new_orthogonal(
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        gain: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        Dense {
+            w: Tensor::from_matrix(init::orthogonal(rng, in_dim, out_dim, gain)),
+            b: Tensor::zeros(1, out_dim),
+            act,
+            cache_x: None,
+            cache_y: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols
+    }
+
+    /// Forward pass; caches input and output for [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(&self.b.value.data);
+        let y = self.act.forward(&y);
+        self.cache_x = Some(x.clone());
+        self.cache_y = Some(y.clone());
+        y
+    }
+
+    /// Forward without caching (inference-only path).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(&self.b.value.data);
+        self.act.forward(&y)
+    }
+
+    /// Backward pass: accumulate `dW`, `db`, return `dX`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("forward before backward");
+        let y = self.cache_y.as_ref().expect("forward before backward");
+        let dz = self.act.backward(y, dy);
+        // dW = xᵀ dz ; db = column sums of dz ; dX = dz Wᵀ
+        self.w.grad.add_assign(&x.matmul_tn(&dz));
+        for r in 0..dz.rows {
+            for (g, d) in self.b.grad.data.iter_mut().zip(dz.row(r)) {
+                *g += d;
+            }
+        }
+        dz.matmul_nt(&self.w.value)
+    }
+
+    /// Mutable views of the trainable tensors (optimizer input).
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Parameter count (for the Fig. 11 memory accounting).
+    pub fn n_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = init::rng(1);
+        let mut d = Dense::new(3, 2, Activation::Linear, &mut rng);
+        d.b.value.data = vec![10.0, 20.0];
+        let x = Matrix::zeros(4, 3);
+        let y = d.forward(&x);
+        assert_eq!((y.rows, y.cols), (4, 2));
+        assert!(y.data.chunks(2).all(|r| r == [10.0, 20.0]));
+    }
+
+    #[test]
+    fn gradcheck_linear() {
+        let mut rng = init::rng(2);
+        let layer = Dense::new(4, 3, Activation::Linear, &mut rng);
+        gradcheck::check_dense(layer, 5, 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_tanh() {
+        let mut rng = init::rng(3);
+        let layer = Dense::new(3, 5, Activation::Tanh, &mut rng);
+        gradcheck::check_dense(layer, 2, 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_sigmoid() {
+        let mut rng = init::rng(4);
+        let layer = Dense::new(6, 2, Activation::Sigmoid, &mut rng);
+        gradcheck::check_dense(layer, 3, 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut rng = init::rng(5);
+        let mut d = Dense::new(2, 2, Activation::Linear, &mut rng);
+        let x = Matrix::row_vector(vec![1.0, 2.0]);
+        let dy = Matrix::row_vector(vec![1.0, 1.0]);
+        d.forward(&x);
+        d.backward(&dy);
+        let g1 = d.w.grad.clone();
+        d.forward(&x);
+        d.backward(&dy);
+        for (a, b) in d.w.grad.data.iter().zip(&g1.data) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = init::rng(6);
+        let mut d = Dense::new(3, 3, Activation::Relu, &mut rng);
+        let x = Matrix::row_vector(vec![0.5, -1.0, 2.0]);
+        assert_eq!(d.forward(&x).data, d.infer(&x).data);
+    }
+}

@@ -1,0 +1,355 @@
+//! Gated recurrent unit (Cho et al., 2014) — an additional sequence encoder
+//! beyond the paper's LSTM/RNN/Transformer trio, exposed through
+//! [`crate::seq::EncoderKind::Gru`] for extended encoder ablations.
+//!
+//! Gate layout inside the fused weights is `[r | z | n]` (reset, update,
+//! candidate), with the PyTorch-style candidate
+//! `n = tanh(x Wxn + r ⊙ (h Whn) + bn)`.
+
+use crate::activation::sigmoid;
+use crate::init;
+use crate::matrix::{Matrix, Tensor};
+use rand::rngs::StdRng;
+
+/// One GRU layer.
+#[derive(Debug, Clone)]
+pub struct GruLayer {
+    /// Input-to-gates weights (`in_dim × 3·hidden`).
+    pub wx: Tensor,
+    /// Hidden-to-gates weights (`hidden × 3·hidden`).
+    pub wh: Tensor,
+    /// Gate bias (`1 × 3·hidden`).
+    pub b: Tensor,
+    hidden: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x: Matrix,
+    /// Per step: `[r | z | n]` activated gates (3H).
+    gates: Vec<Vec<f64>>,
+    /// Per step: `h Whn` pre-reset recurrent candidate contribution (H).
+    hn_lin: Vec<Vec<f64>>,
+    hiddens: Vec<Vec<f64>>,
+}
+
+impl GruLayer {
+    /// Xavier-initialised layer.
+    pub fn new(in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        GruLayer {
+            wx: Tensor::from_matrix(init::xavier(rng, in_dim, 3 * hidden)),
+            wh: Tensor::from_matrix(init::xavier(rng, hidden, 3 * hidden)),
+            b: Tensor::zeros(1, 3 * hidden),
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn run(&self, x: &Matrix, keep: bool) -> (Matrix, Option<Cache>) {
+        let t_len = x.rows;
+        let h = self.hidden;
+        let mut out = Matrix::zeros(t_len, h);
+        let mut gates_v = Vec::with_capacity(t_len);
+        let mut hn_v = Vec::with_capacity(t_len);
+        let mut hs = Vec::with_capacity(t_len);
+        let mut h_prev = vec![0.0; h];
+        for t in 0..t_len {
+            // zx = x Wx + b ; zh = h_prev Wh
+            let mut zx = self.b.value.data.clone();
+            for (k, &xv) in x.row(t).iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                for (zv, &wv) in zx.iter_mut().zip(self.wx.value.row(k)) {
+                    *zv += xv * wv;
+                }
+            }
+            let mut zh = vec![0.0; 3 * h];
+            for (k, &hv) in h_prev.iter().enumerate() {
+                if hv == 0.0 {
+                    continue;
+                }
+                for (zv, &wv) in zh.iter_mut().zip(self.wh.value.row(k)) {
+                    *zv += hv * wv;
+                }
+            }
+            let mut gates = vec![0.0; 3 * h];
+            let mut hn_lin = vec![0.0; h];
+            let mut h_t = vec![0.0; h];
+            for j in 0..h {
+                let r = sigmoid(zx[j] + zh[j]);
+                let z = sigmoid(zx[h + j] + zh[h + j]);
+                hn_lin[j] = zh[2 * h + j];
+                let n = (zx[2 * h + j] + r * hn_lin[j]).tanh();
+                gates[j] = r;
+                gates[h + j] = z;
+                gates[2 * h + j] = n;
+                h_t[j] = (1.0 - z) * n + z * h_prev[j];
+            }
+            out.row_mut(t).copy_from_slice(&h_t);
+            if keep {
+                gates_v.push(gates);
+                hn_v.push(hn_lin);
+                hs.push(h_t.clone());
+            }
+            h_prev = h_t;
+        }
+        let cache =
+            keep.then(|| Cache { x: x.clone(), gates: gates_v, hn_lin: hn_v, hiddens: hs });
+        (out, cache)
+    }
+
+    /// Forward with caches.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (out, cache) = self.run(x, true);
+        self.cache = cache;
+        out
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.run(x, false).0
+    }
+
+    /// BPTT; accumulates parameter gradients, returns `dX`.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("forward before backward");
+        let t_len = cache.x.rows;
+        let h = self.hidden;
+        let mut dx = Matrix::zeros(t_len, cache.x.cols);
+        let mut dh_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t];
+            let hn_lin = &cache.hn_lin[t];
+            let h_prev: Vec<f64> =
+                if t == 0 { vec![0.0; h] } else { cache.hiddens[t - 1].clone() };
+            // dzx over [r z n], dzh over [r z n] where the n-slot of zh is
+            // multiplied by r inside the candidate.
+            let mut dzx = vec![0.0; 3 * h];
+            let mut dzh = vec![0.0; 3 * h];
+            let mut dh_prev_direct = vec![0.0; h];
+            for j in 0..h {
+                let dh = d_out[(t, j)] + dh_next[j];
+                let r = gates[j];
+                let z = gates[h + j];
+                let n = gates[2 * h + j];
+                // h = (1-z) n + z h_prev
+                let dz = dh * (h_prev[j] - n);
+                let dn = dh * (1.0 - z);
+                dh_prev_direct[j] += dh * z;
+                // n = tanh(a), a = zx_n + r * hn_lin
+                let da = dn * (1.0 - n * n);
+                dzx[2 * h + j] = da;
+                let dr = da * hn_lin[j];
+                dzh[2 * h + j] = da * r;
+                // r = σ(zx_r + zh_r), z = σ(zx_z + zh_z)
+                let dzr = dr * r * (1.0 - r);
+                let dzz = dz * z * (1.0 - z);
+                dzx[j] = dzr;
+                dzh[j] = dzr;
+                dzx[h + j] = dzz;
+                dzh[h + j] = dzz;
+            }
+            // Parameter grads.
+            for (k, &xv) in cache.x.row(t).iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let g_row = &mut self.wx.grad.data[k * 3 * h..(k + 1) * 3 * h];
+                for (gv, &dv) in g_row.iter_mut().zip(&dzx) {
+                    *gv += xv * dv;
+                }
+            }
+            for (k, &hv) in h_prev.iter().enumerate() {
+                if hv == 0.0 {
+                    continue;
+                }
+                let g_row = &mut self.wh.grad.data[k * 3 * h..(k + 1) * 3 * h];
+                for (gv, &dv) in g_row.iter_mut().zip(&dzh) {
+                    *gv += hv * dv;
+                }
+            }
+            for (gv, &dv) in self.b.grad.data.iter_mut().zip(&dzx) {
+                *gv += dv;
+            }
+            // Input and previous-hidden grads.
+            for (k, dxv) in dx.row_mut(t).iter_mut().enumerate() {
+                *dxv = self.wx.value.row(k).iter().zip(&dzx).map(|(a, b)| a * b).sum();
+            }
+            let mut dh_prev = dh_prev_direct;
+            for (k, dhv) in dh_prev.iter_mut().enumerate() {
+                *dhv += self.wh.value.row(k).iter().zip(&dzh).map(|(a, b)| a * b).sum::<f64>();
+            }
+            dh_next = dh_prev;
+        }
+        dx
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    /// Parameter count.
+    pub fn n_params(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+}
+
+/// A stack of GRU layers.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    layers: Vec<GruLayer>,
+}
+
+impl Gru {
+    /// Stack `n_layers` GRU layers.
+    pub fn new(in_dim: usize, hidden: usize, n_layers: usize, rng: &mut StdRng) -> Self {
+        assert!(n_layers >= 1);
+        let mut layers = Vec::with_capacity(n_layers);
+        layers.push(GruLayer::new(in_dim, hidden, rng));
+        for _ in 1..n_layers {
+            layers.push(GruLayer::new(hidden, hidden, rng));
+        }
+        Gru { layers }
+    }
+
+    /// Hidden size of the final layer.
+    pub fn hidden(&self) -> usize {
+        self.layers.last().unwrap().hidden()
+    }
+
+    /// Forward through the stack.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// Backward through the stack.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut d = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Trainable parameters (stable order).
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(GruLayer::parameters).collect()
+    }
+
+    /// Parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(GruLayer::n_params).sum()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-driven perturbation loops
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = init::rng(seed);
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect())
+    }
+
+    fn loss(y: &Matrix, c: &Matrix) -> f64 {
+        y.data.iter().zip(&c.data).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn shapes_and_infer_parity() {
+        let mut g = Gru::new(3, 5, 2, &mut init::rng(1));
+        let x = seq(6, 3, 2);
+        let a = g.forward(&x);
+        assert_eq!((a.rows, a.cols), (6, 5));
+        let b = g.infer(&x);
+        for (u, v) in a.data.iter().zip(&b.data) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradcheck_single_layer_full() {
+        let mut g = GruLayer::new(2, 3, &mut init::rng(3));
+        let x = seq(4, 2, 4);
+        let c = seq(4, 3, 5);
+        g.forward(&x);
+        let dx = g.backward(&c);
+        let eps = 1e-6;
+        let analytic: Vec<Vec<f64>> =
+            g.parameters().iter().map(|p| p.grad.data.clone()).collect();
+        for (pi, grads) in analytic.iter().enumerate() {
+            for idx in 0..grads.len() {
+                let perturb = |e: f64| {
+                    let mut g2 = g.clone();
+                    g2.parameters()[pi].value.data[idx] += e;
+                    loss(&g2.infer(&x), &c)
+                };
+                let num = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+                assert!(
+                    (num - grads[idx]).abs() < 1e-6,
+                    "param {pi} idx {idx}: {num} vs {}",
+                    grads[idx]
+                );
+            }
+        }
+        for idx in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss(&g.infer(&xp), &c) - loss(&g.infer(&xm), &c)) / (2.0 * eps);
+            assert!((num - dx.data[idx]).abs() < 1e-6, "x[{idx}]");
+        }
+    }
+
+    #[test]
+    fn gradcheck_stacked_spot() {
+        let mut g = Gru::new(2, 3, 2, &mut init::rng(6));
+        let x = seq(3, 2, 7);
+        let c = seq(3, 3, 8);
+        g.forward(&x);
+        let dx = g.backward(&c);
+        let eps = 1e-6;
+        for (li, pi, idx) in [(0usize, 0usize, 0usize), (0, 1, 2), (1, 0, 4), (1, 2, 1)] {
+            let analytic = g.layers[li].parameters()[pi].grad.data[idx];
+            let perturb = |e: f64| {
+                let mut g2 = g.clone();
+                g2.layers[li].parameters()[pi].value.data[idx] += e;
+                loss(&g2.infer(&x), &c)
+            };
+            let num = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+            assert!((num - analytic).abs() < 1e-6, "layer {li} param {pi} idx {idx}");
+        }
+        for idx in [0, 3, 5] {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss(&g.infer(&xp), &c) - loss(&g.infer(&xm), &c)) / (2.0 * eps);
+            assert!((num - dx.data[idx]).abs() < 1e-6, "x[{idx}]");
+        }
+    }
+}

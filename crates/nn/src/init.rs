@@ -1,0 +1,128 @@
+//! Weight initialisation: Xavier/Glorot uniform and the orthogonal scheme
+//! the paper uses for the Novelty Estimator's random target network
+//! ("coupled orthogonal initialization scaling factor is set to 16.0", §V).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workspace-standard RNG (mirrors `fastft_tabular::rngx::rng`; duplicated
+/// so this crate stays dependency-free apart from `rand`).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Standard normal via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Xavier/Glorot uniform init: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen::<f64>() * 2.0 * a - a).collect();
+    Matrix { rows, cols, data }
+}
+
+/// Orthogonal initialisation scaled by `gain`.
+///
+/// Draw a Gaussian matrix and orthonormalise its rows (if `rows <= cols`) or
+/// columns (otherwise) with modified Gram–Schmidt, then multiply by `gain`.
+/// The resulting matrix `M` satisfies `M Mᵀ = gain² I` (or `Mᵀ M = gain² I`).
+pub fn orthogonal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, gain: f64) -> Matrix {
+    let transpose_needed = rows > cols;
+    let (r, c) = if transpose_needed { (cols, rows) } else { (rows, cols) };
+    // r <= c: orthonormalise the r rows of an r×c Gaussian draw.
+    let mut m: Vec<Vec<f64>> = (0..r).map(|_| (0..c).map(|_| normal(rng)).collect()).collect();
+    for i in 0..r {
+        // Two Gram–Schmidt sweeps for numerical robustness.
+        for _ in 0..2 {
+            for j in 0..i {
+                let dot: f64 = m[i].iter().zip(&m[j]).map(|(a, b)| a * b).sum();
+                let (left, right) = m.split_at_mut(i);
+                for (vi, vj) in right[0].iter_mut().zip(&left[j]) {
+                    *vi -= dot * vj;
+                }
+            }
+        }
+        let norm: f64 = m[i].iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        for v in &mut m[i] {
+            *v /= norm;
+        }
+    }
+    // Scale after the whole basis is orthonormal, so the Gram–Schmidt
+    // projections above operate on unit vectors.
+    for row in &mut m {
+        for v in row {
+            *v *= gain;
+        }
+    }
+    let flat: Vec<f64> = m.into_iter().flatten().collect();
+    let mat = Matrix::from_vec(r, c, flat);
+    if transpose_needed {
+        mat.transpose()
+    } else {
+        mat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_range() {
+        let mut r = rng(1);
+        let m = xavier(&mut r, 10, 20);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(m.data.iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn orthogonal_rows_are_orthonormal() {
+        let mut r = rng(2);
+        let gain = 16.0; // paper's scaling factor
+        let m = orthogonal(&mut r, 4, 8, gain);
+        // M Mᵀ should be gain² I for rows <= cols.
+        let gram = m.matmul_nt(&m);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { gain * gain } else { 0.0 };
+                assert!(
+                    (gram[(i, j)] - expect).abs() < 1e-8,
+                    "gram[{i}][{j}] = {}",
+                    gram[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_tall_matrix_columns_orthonormal() {
+        let mut r = rng(3);
+        let m = orthogonal(&mut r, 8, 3, 1.0);
+        let gram = m.matmul_tn(&m); // MᵀM = I
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((gram[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_deterministic() {
+        let a = orthogonal(&mut rng(9), 5, 5, 2.0);
+        let b = orthogonal(&mut rng(9), 5, 5, 2.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = orthogonal(&mut rng(1), 5, 5, 1.0);
+        let b = orthogonal(&mut rng(2), 5, 5, 1.0);
+        assert_ne!(a, b);
+    }
+}

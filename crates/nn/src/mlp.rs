@@ -1,0 +1,135 @@
+//! Multi-layer perceptron built from [`Dense`] layers — the policy, value
+//! and Q networks of the RL stack.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::init;
+use crate::matrix::{Matrix, Tensor};
+
+/// A feed-forward stack: hidden layers with ReLU, linear output layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build from a dims chain `[in, h1, ..., out]` (at least 2 entries).
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut rng = init::rng(seed);
+        let n = dims.len() - 1;
+        let layers = (0..n)
+            .map(|i| {
+                let act = if i + 1 == n { Activation::Linear } else { Activation::Relu };
+                Dense::new(dims[i], dims[i + 1], act, &mut rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Forward with caches (training path).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Inference on a single flat input vector.
+    pub fn infer_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = Matrix::row_vector(x.to_vec());
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h.data
+    }
+
+    /// Backward; returns `dX`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let mut d = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Trainable parameters (stable order).
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(Dense::parameters).collect()
+    }
+
+    /// Parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(Dense::n_params).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::Rng;
+
+    #[test]
+    fn shapes() {
+        let mut m = Mlp::new(&[4, 8, 3], 1);
+        let x = Matrix::zeros(2, 4);
+        let y = m.forward(&x);
+        assert_eq!((y.rows, y.cols), (2, 3));
+        assert_eq!(m.in_dim(), 4);
+        assert_eq!(m.out_dim(), 3);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut m = Mlp::new(&[2, 16, 1], 7);
+        let mut opt = Adam::new(0.02);
+        for _ in 0..800 {
+            for (x, t) in &data {
+                let y = m.forward(&Matrix::row_vector(x.to_vec()));
+                let err = y.data[0] - t;
+                m.backward(&Matrix::row_vector(vec![2.0 * err]));
+                opt.step(m.parameters());
+            }
+        }
+        for (x, t) in &data {
+            let y = m.infer_vec(x)[0];
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut m = Mlp::new(&[3, 5, 2], 9);
+        let mut rng = init::rng(10);
+        let x: Vec<f64> = (0..3).map(|_| rng.gen::<f64>()).collect();
+        let a = m.forward(&Matrix::row_vector(x.clone()));
+        let b = m.infer_vec(&x);
+        for (u, v) in a.data.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_dim_rejected() {
+        let _ = Mlp::new(&[4], 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Optimizers operating on ordered parameter lists.
+//!
+//! Every network exposes `parameters() -> Vec<&mut Tensor>` with a stable
+//! ordering; optimizers keep per-parameter state indexed by that order.
+
+use crate::matrix::Tensor;
+
+/// Plain SGD with optional gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Global-norm clip threshold (`None` = no clipping).
+    pub clip: Option<f64>,
+}
+
+impl Sgd {
+    /// Create with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, clip: None }
+    }
+
+    /// Apply one update and zero the gradients.
+    pub fn step(&mut self, mut params: Vec<&mut Tensor>) {
+        let scale = clip_scale(&params, self.clip);
+        for p in &mut params {
+            for (v, g) in p.value.data.iter_mut().zip(&p.grad.data) {
+                *v -= self.lr * g * scale;
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional global-norm clip.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Global-norm clip threshold (`None` = no clipping).
+    pub clip: Option<f64>,
+    t: u64,
+    state: Vec<(Vec<f64>, Vec<f64>)>, // (m, v) per parameter tensor
+}
+
+impl Adam {
+    /// Create with learning rate `lr` and standard betas.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: Some(5.0), t: 0, state: Vec::new() }
+    }
+
+    /// Apply one update and zero the gradients.
+    ///
+    /// # Panics
+    /// Panics if the parameter list shape changes between calls.
+    pub fn step(&mut self, mut params: Vec<&mut Tensor>) {
+        if self.state.is_empty() {
+            self.state = params
+                .iter()
+                .map(|p| (vec![0.0; p.len()], vec![0.0; p.len()]))
+                .collect();
+        }
+        assert_eq!(self.state.len(), params.len(), "parameter list changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let scale = clip_scale(&params, self.clip);
+        for (p, (m, v)) in params.iter_mut().zip(&mut self.state) {
+            assert_eq!(p.len(), m.len(), "parameter shape changed");
+            for i in 0..p.len() {
+                let g = p.grad.data[i] * scale;
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                p.value.data[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+fn clip_scale(params: &[&mut Tensor], clip: Option<f64>) -> f64 {
+    match clip {
+        None => 1.0,
+        Some(limit) => {
+            let norm: f64 = params
+                .iter()
+                .map(|p| p.grad.data.iter().map(|g| g * g).sum::<f64>())
+                .sum::<f64>()
+                .sqrt();
+            if norm > limit {
+                limit / norm
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// Zero the gradients of a parameter list without updating.
+pub fn zero_grads(params: Vec<&mut Tensor>) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn quadratic_grad(t: &mut Tensor) {
+        // L = Σ x², dL/dx = 2x
+        for (g, v) in t.grad.data.iter_mut().zip(&t.value.data) {
+            *g = 2.0 * v;
+        }
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut t = Tensor::from_matrix(Matrix::row_vector(vec![5.0, -3.0]));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_grad(&mut t);
+            opt.step(vec![&mut t]);
+        }
+        assert!(t.value.data.iter().all(|v| v.abs() < 1e-4), "{:?}", t.value.data);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut t = Tensor::from_matrix(Matrix::row_vector(vec![5.0, -3.0]));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            quadratic_grad(&mut t);
+            opt.step(vec![&mut t]);
+        }
+        assert!(t.value.data.iter().all(|v| v.abs() < 1e-2), "{:?}", t.value.data);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut t = Tensor::from_matrix(Matrix::row_vector(vec![1.0]));
+        t.grad.data[0] = 2.0;
+        Sgd::new(0.1).step(vec![&mut t]);
+        assert_eq!(t.grad.data[0], 0.0);
+    }
+
+    #[test]
+    fn clipping_bounds_update() {
+        let mut t = Tensor::from_matrix(Matrix::row_vector(vec![0.0]));
+        t.grad.data[0] = 1e9;
+        let mut opt = Sgd::new(1.0);
+        opt.clip = Some(1.0);
+        opt.step(vec![&mut t]);
+        assert!((t.value.data[0].abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn adam_rejects_changed_param_count() {
+        let mut a = Tensor::zeros(1, 1);
+        let mut b = Tensor::zeros(1, 1);
+        let mut opt = Adam::new(0.1);
+        opt.step(vec![&mut a]);
+        opt.step(vec![&mut a, &mut b]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Vanilla tanh RNN (the FASTFTᴿ ablation encoder of Fig. 8).
+
+use crate::init;
+use crate::matrix::{Matrix, Tensor};
+use rand::rngs::StdRng;
+
+/// `h_t = tanh(x_t Wx + h_{t-1} Wh + b)`, stacked `n_layers` deep.
+#[derive(Debug, Clone)]
+pub struct Rnn {
+    layers: Vec<RnnLayer>,
+}
+
+/// Forward cache: `(input, per-step hidden states)`.
+type RnnCache = (Matrix, Vec<Vec<f64>>);
+
+#[derive(Debug, Clone)]
+struct RnnLayer {
+    wx: Tensor, // in × H
+    wh: Tensor, // H × H
+    b: Tensor,  // 1 × H
+    hidden: usize,
+    cache: Option<RnnCache>,
+}
+
+impl RnnLayer {
+    fn new(in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        RnnLayer {
+            wx: Tensor::from_matrix(init::xavier(rng, in_dim, hidden)),
+            // Orthogonal recurrent weights keep vanilla RNNs stable.
+            wh: Tensor::from_matrix(init::orthogonal(rng, hidden, hidden, 1.0)),
+            b: Tensor::zeros(1, hidden),
+            hidden,
+            cache: None,
+        }
+    }
+
+    fn run(&self, x: &Matrix, keep: bool) -> (Matrix, Option<RnnCache>) {
+        let t_len = x.rows;
+        let h = self.hidden;
+        let mut out = Matrix::zeros(t_len, h);
+        let mut states = Vec::with_capacity(t_len);
+        let mut h_prev = vec![0.0; h];
+        for t in 0..t_len {
+            let mut z = self.b.value.data.clone();
+            for (k, &xv) in x.row(t).iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                for (zv, &wv) in z.iter_mut().zip(self.wx.value.row(k)) {
+                    *zv += xv * wv;
+                }
+            }
+            for (k, &hv) in h_prev.iter().enumerate() {
+                if hv == 0.0 {
+                    continue;
+                }
+                for (zv, &wv) in z.iter_mut().zip(self.wh.value.row(k)) {
+                    *zv += hv * wv;
+                }
+            }
+            for zv in &mut z {
+                *zv = zv.tanh();
+            }
+            out.row_mut(t).copy_from_slice(&z);
+            if keep {
+                states.push(z.clone());
+            }
+            h_prev = z;
+        }
+        (out, keep.then(|| (x.clone(), states)))
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (out, cache) = self.run(x, true);
+        self.cache = cache;
+        out
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        self.run(x, false).0
+    }
+
+    fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let (x, states) = self.cache.take().expect("forward before backward");
+        let t_len = x.rows;
+        let h = self.hidden;
+        let mut dx = Matrix::zeros(t_len, x.cols);
+        let mut dh_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let h_t = &states[t];
+            let h_prev: &[f64] = if t == 0 { &[] } else { &states[t - 1] };
+            let dz: Vec<f64> = (0..h)
+                .map(|j| (d_out[(t, j)] + dh_next[j]) * (1.0 - h_t[j] * h_t[j]))
+                .collect();
+            for (k, &xv) in x.row(t).iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let g_row = &mut self.wx.grad.data[k * h..(k + 1) * h];
+                for (gv, &dv) in g_row.iter_mut().zip(&dz) {
+                    *gv += xv * dv;
+                }
+            }
+            if t > 0 {
+                for (k, &hv) in h_prev.iter().enumerate() {
+                    if hv == 0.0 {
+                        continue;
+                    }
+                    let g_row = &mut self.wh.grad.data[k * h..(k + 1) * h];
+                    for (gv, &dv) in g_row.iter_mut().zip(&dz) {
+                        *gv += hv * dv;
+                    }
+                }
+            }
+            for (gv, &dv) in self.b.grad.data.iter_mut().zip(&dz) {
+                *gv += dv;
+            }
+            for (k, dxv) in dx.row_mut(t).iter_mut().enumerate() {
+                *dxv = self.wx.value.row(k).iter().zip(&dz).map(|(a, b)| a * b).sum();
+            }
+            let mut dh_prev = vec![0.0; h];
+            for (k, dhv) in dh_prev.iter_mut().enumerate() {
+                *dhv = self.wh.value.row(k).iter().zip(&dz).map(|(a, b)| a * b).sum();
+            }
+            dh_next = dh_prev;
+        }
+        dx
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    fn n_params(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+}
+
+impl Rnn {
+    /// Stack of tanh RNN layers.
+    pub fn new(in_dim: usize, hidden: usize, n_layers: usize, rng: &mut StdRng) -> Self {
+        assert!(n_layers >= 1);
+        let mut layers = Vec::with_capacity(n_layers);
+        layers.push(RnnLayer::new(in_dim, hidden, rng));
+        for _ in 1..n_layers {
+            layers.push(RnnLayer::new(hidden, hidden, rng));
+        }
+        Rnn { layers }
+    }
+
+    /// Hidden size of the final layer.
+    pub fn hidden(&self) -> usize {
+        self.layers.last().unwrap().hidden
+    }
+
+    /// Forward through the stack.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// Backward through the stack.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut d = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Trainable parameters (stable order).
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(RnnLayer::parameters).collect()
+    }
+
+    /// Parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(RnnLayer::n_params).sum()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-driven perturbation loops
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = init::rng(seed);
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect())
+    }
+
+    fn loss(y: &Matrix, c: &Matrix) -> f64 {
+        y.data.iter().zip(&c.data).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn shapes_and_infer_parity() {
+        let mut r = Rnn::new(3, 6, 2, &mut init::rng(1));
+        let x = seq(5, 3, 2);
+        let a = r.forward(&x);
+        assert_eq!((a.rows, a.cols), (5, 6));
+        let b = r.infer(&x);
+        for (u, v) in a.data.iter().zip(&b.data) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradcheck_rnn() {
+        let mut r = Rnn::new(2, 3, 1, &mut init::rng(3));
+        let x = seq(4, 2, 4);
+        let c = seq(4, 3, 5);
+        r.forward(&x);
+        let dx = r.backward(&c);
+        let eps = 1e-6;
+        // Full check of all parameters of the single layer, using the
+        // gradients accumulated by the backward call above.
+        let analytic: Vec<Vec<f64>> =
+            r.parameters().iter().map(|p| p.grad.data.clone()).collect();
+        for (pi, grads) in analytic.iter().enumerate() {
+            for idx in 0..grads.len() {
+                let perturb = |e: f64| {
+                    let mut r2 = r.clone();
+                    r2.parameters()[pi].value.data[idx] += e;
+                    loss(&r2.infer(&x), &c)
+                };
+                let num = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+                assert!((num - grads[idx]).abs() < 1e-6, "param {pi} idx {idx}");
+            }
+        }
+        for idx in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss(&r.infer(&xp), &c) - loss(&r.infer(&xm), &c)) / (2.0 * eps);
+            assert!((num - dx.data[idx]).abs() < 1e-6, "x[{idx}]");
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! A Transformer encoder block with hand-written backprop — the FASTFTᵀ
+//! ablation encoder of Fig. 8.
+//!
+//! Post-norm architecture over batch-of-one sequences (`T × dim`):
+//! `y1 = LN1(x + MHA(x))`, `y2 = LN2(y1 + FFN(y1))`.
+
+use crate::activation::{softmax_backward_row, softmax_inplace, Activation};
+use crate::dense::Dense;
+use crate::init;
+use crate::matrix::{Matrix, Tensor};
+use rand::rngs::StdRng;
+
+/// Per-row layer normalisation with learned scale/shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale (`1 × dim`).
+    pub gamma: Tensor,
+    /// Shift (`1 × dim`).
+    pub beta: Tensor,
+    eps: f64,
+    cache: Option<(Matrix, Vec<f64>)>, // (normalised x̂, per-row inv std)
+}
+
+impl LayerNorm {
+    /// Identity-initialised layer norm.
+    pub fn new(dim: usize) -> Self {
+        let mut gamma = Tensor::zeros(1, dim);
+        gamma.value.data.iter_mut().for_each(|v| *v = 1.0);
+        LayerNorm { gamma, beta: Tensor::zeros(1, dim), eps: 1e-5, cache: None }
+    }
+
+    /// Normalise each row; caches for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (y, xhat, inv_std) = self.run(x);
+        self.cache = Some((xhat, inv_std));
+        y
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.run(x).0
+    }
+
+    fn run(&self, x: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
+        let d = x.cols;
+        let mut y = Matrix::zeros(x.rows, d);
+        let mut xhat = Matrix::zeros(x.rows, d);
+        let mut inv_stds = Vec::with_capacity(x.rows);
+        for r in 0..x.rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f64>() / d as f64;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            for j in 0..d {
+                let h = (row[j] - mean) * inv_std;
+                xhat[(r, j)] = h;
+                y[(r, j)] = h * self.gamma.value.data[j] + self.beta.value.data[j];
+            }
+        }
+        (y, xhat, inv_stds)
+    }
+
+    /// Backward; accumulates `dγ`, `dβ`, returns `dX`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (xhat, inv_stds) = self.cache.take().expect("forward before backward");
+        let d = dy.cols as f64;
+        let dim = dy.cols;
+        let mut dx = Matrix::zeros(dy.rows, dim);
+        for r in 0..dy.rows {
+            let mut sum_dyg = 0.0;
+            let mut sum_dyg_xhat = 0.0;
+            for j in 0..dim {
+                let dyg = dy[(r, j)] * self.gamma.value.data[j];
+                sum_dyg += dyg;
+                sum_dyg_xhat += dyg * xhat[(r, j)];
+                self.gamma.grad.data[j] += dy[(r, j)] * xhat[(r, j)];
+                self.beta.grad.data[j] += dy[(r, j)];
+            }
+            for j in 0..dim {
+                let dyg = dy[(r, j)] * self.gamma.value.data[j];
+                dx[(r, j)] =
+                    inv_stds[r] * (dyg - sum_dyg / d - xhat[(r, j)] * sum_dyg_xhat / d);
+            }
+        }
+        dx
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    /// Parameter count.
+    pub fn n_params(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Head {
+    wq: Tensor, // dim × dk
+    wk: Tensor,
+    wv: Tensor,
+    cache: Option<HeadCache>,
+}
+
+#[derive(Debug, Clone)]
+struct HeadCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix, // T × T softmax rows
+}
+
+impl Head {
+    fn new(dim: usize, dk: usize, rng: &mut StdRng) -> Self {
+        Head {
+            wq: Tensor::from_matrix(init::xavier(rng, dim, dk)),
+            wk: Tensor::from_matrix(init::xavier(rng, dim, dk)),
+            wv: Tensor::from_matrix(init::xavier(rng, dim, dk)),
+            cache: None,
+        }
+    }
+
+    fn run(&self, x: &Matrix, keep: bool) -> (Matrix, Option<HeadCache>) {
+        let dk = self.wq.value.cols;
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let mut scores = q.matmul_nt(&k);
+        scores.scale(1.0 / (dk as f64).sqrt());
+        for r in 0..scores.rows {
+            softmax_inplace(scores.row_mut(r));
+        }
+        let out = scores.matmul(&v);
+        let cache = keep.then(|| HeadCache { q: q.clone(), k: k.clone(), v: v.clone(), attn: scores.clone() });
+        (out, cache)
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (out, cache) = self.run(x, true);
+        self.cache = cache;
+        out
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        self.run(x, false).0
+    }
+
+    /// Backward for one head. `x` is the block input (needed for the weight
+    /// gradients); returns `dX` contribution from this head.
+    fn backward(&mut self, x: &Matrix, d_out: &Matrix) -> Matrix {
+        let HeadCache { q, k, v, attn } = self.cache.take().expect("forward before backward");
+        let dk = self.wq.value.cols;
+        let scale = 1.0 / (dk as f64).sqrt();
+        // out = attn @ v
+        let d_attn = d_out.matmul_nt(&v);
+        let d_v = attn.matmul_tn(d_out);
+        // softmax backward per row, then score scale.
+        let mut d_scores = Matrix::zeros(attn.rows, attn.cols);
+        for r in 0..attn.rows {
+            let ds = softmax_backward_row(attn.row(r), d_attn.row(r));
+            for (j, val) in ds.into_iter().enumerate() {
+                d_scores[(r, j)] = val * scale;
+            }
+        }
+        // scores = q @ kᵀ
+        let d_q = d_scores.matmul(&k);
+        let d_k = d_scores.matmul_tn(&q).transpose(); // (dᵀscores q)ᵀ = scoresᵀ q ... see below
+        // d_k: scores = q kᵀ ⇒ dK = d_scoresᵀ @ q
+        let d_k = {
+            let _ = d_k;
+            d_scores.transpose().matmul(&q)
+        };
+        // Weight grads and input grad.
+        self.wq.grad.add_assign(&x.matmul_tn(&d_q));
+        self.wk.grad.add_assign(&x.matmul_tn(&d_k));
+        self.wv.grad.add_assign(&x.matmul_tn(&d_v));
+        let mut dx = d_q.matmul_nt(&self.wq.value);
+        dx.add_assign(&d_k.matmul_nt(&self.wk.value));
+        dx.add_assign(&d_v.matmul_nt(&self.wv.value));
+        dx
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv]
+    }
+
+    fn n_params(&self) -> usize {
+        self.wq.len() + self.wk.len() + self.wv.len()
+    }
+}
+
+/// One post-norm Transformer encoder block.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    heads: Vec<Head>,
+    wo: Tensor, // dim × dim
+    ln1: LayerNorm,
+    ff1: Dense,
+    ff2: Dense,
+    ln2: LayerNorm,
+    cache: Option<BlockCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockCache {
+    x: Matrix,
+    concat: Matrix, // concatenated head outputs, T × dim
+}
+
+impl TransformerBlock {
+    /// Build a block with `n_heads` heads over model width `dim`
+    /// (`dim % n_heads == 0`) and a `4·dim` FFN.
+    pub fn new(dim: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+        assert!(n_heads >= 1 && dim.is_multiple_of(n_heads), "dim {dim} not divisible by {n_heads} heads");
+        let dk = dim / n_heads;
+        TransformerBlock {
+            heads: (0..n_heads).map(|_| Head::new(dim, dk, rng)).collect(),
+            wo: Tensor::from_matrix(init::xavier(rng, dim, dim)),
+            ln1: LayerNorm::new(dim),
+            ff1: Dense::new(dim, 4 * dim, Activation::Relu, rng),
+            ff2: Dense::new(4 * dim, dim, Activation::Linear, rng),
+            ln2: LayerNorm::new(dim),
+            cache: None,
+        }
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.wo.value.rows
+    }
+
+    /// Forward over a `T × dim` sequence.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let dim = self.dim();
+        let dk = dim / self.heads.len();
+        let mut concat = Matrix::zeros(x.rows, dim);
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            let out = head.forward(x);
+            for r in 0..x.rows {
+                concat.row_mut(r)[h * dk..(h + 1) * dk].copy_from_slice(out.row(r));
+            }
+        }
+        let mut attn_out = concat.matmul(&self.wo.value);
+        attn_out.add_assign(x);
+        let y1 = self.ln1.forward(&attn_out);
+        let f = self.ff1.forward(&y1);
+        let mut f2 = self.ff2.forward(&f);
+        f2.add_assign(&y1);
+        let y2 = self.ln2.forward(&f2);
+        self.cache = Some(BlockCache { x: x.clone(), concat });
+        y2
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let dim = self.dim();
+        let dk = dim / self.heads.len();
+        let mut concat = Matrix::zeros(x.rows, dim);
+        for (h, head) in self.heads.iter().enumerate() {
+            let out = head.infer(x);
+            for r in 0..x.rows {
+                concat.row_mut(r)[h * dk..(h + 1) * dk].copy_from_slice(out.row(r));
+            }
+        }
+        let mut attn_out = concat.matmul(&self.wo.value);
+        attn_out.add_assign(x);
+        let y1 = self.ln1.infer(&attn_out);
+        let f = self.ff1.infer(&y1);
+        let mut f2 = self.ff2.infer(&f);
+        f2.add_assign(&y1);
+        self.ln2.infer(&f2)
+    }
+
+    /// Backward; accumulates all parameter grads, returns `dX`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let BlockCache { x, concat } = self.cache.take().expect("forward before backward");
+        let dim = self.dim();
+        let dk = dim / self.heads.len();
+        // y2 = LN2(y1 + FF(y1))
+        let du = self.ln2.backward(dy);
+        let df = self.ff2.backward(&du);
+        let mut dy1 = self.ff1.backward(&df);
+        dy1.add_assign(&du);
+        // y1 = LN1(x + concat @ Wo)
+        let dv = self.ln1.backward(&dy1);
+        // attn_out = concat @ Wo + x
+        self.wo.grad.add_assign(&concat.matmul_tn(&dv));
+        let d_concat = dv.matmul_nt(&self.wo.value);
+        let mut dx = dv; // residual path
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            let mut d_head = Matrix::zeros(x.rows, dk);
+            for r in 0..x.rows {
+                d_head.row_mut(r).copy_from_slice(&d_concat.row(r)[h * dk..(h + 1) * dk]);
+            }
+            dx.add_assign(&head.backward(&x, &d_head));
+        }
+        dx
+    }
+
+    /// Trainable parameters (stable order).
+    pub fn parameters(&mut self) -> Vec<&mut Tensor> {
+        let mut p: Vec<&mut Tensor> = Vec::new();
+        for h in &mut self.heads {
+            p.extend(h.parameters());
+        }
+        p.push(&mut self.wo);
+        p.extend(self.ln1.parameters());
+        p.extend(self.ff1.parameters());
+        p.extend(self.ff2.parameters());
+        p.extend(self.ln2.parameters());
+        p
+    }
+
+    /// Parameter count.
+    pub fn n_params(&self) -> usize {
+        self.heads.iter().map(Head::n_params).sum::<usize>()
+            + self.wo.len()
+            + self.ln1.n_params()
+            + self.ff1.n_params()
+            + self.ff2.n_params()
+            + self.ln2.n_params()
+    }
+}
+
+/// Sinusoidal positional encoding added to a `T × dim` embedding matrix.
+pub fn add_positional_encoding(x: &mut Matrix) {
+    let dim = x.cols;
+    for t in 0..x.rows {
+        for j in 0..dim {
+            let angle = t as f64 / 10_000f64.powf((2 * (j / 2)) as f64 / dim as f64);
+            x[(t, j)] += if j % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-driven perturbation loops
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = init::rng(seed);
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect())
+    }
+
+    fn loss(y: &Matrix, c: &Matrix) -> f64 {
+        y.data.iter().zip(&c.data).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn layernorm_rows_standardised() {
+        let mut ln = LayerNorm::new(4);
+        let x = seq(3, 4, 1);
+        let y = ln.forward(&x);
+        for r in 0..3 {
+            let row = y.row(r);
+            let mean: f64 = row.iter().sum::<f64>() / 4.0;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut ln = LayerNorm::new(5);
+        // Non-trivial gamma/beta.
+        for (i, g) in ln.gamma.value.data.iter_mut().enumerate() {
+            *g = 1.0 + 0.1 * i as f64;
+        }
+        let x = seq(2, 5, 2);
+        let c = seq(2, 5, 3);
+        ln.forward(&x);
+        let dx = ln.backward(&c);
+        let eps = 1e-6;
+        for idx in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss(&ln.infer(&xp), &c) - loss(&ln.infer(&xm), &c)) / (2.0 * eps);
+            assert!((num - dx.data[idx]).abs() < 1e-6, "x[{idx}]: {num} vs {}", dx.data[idx]);
+        }
+        // gamma gradient.
+        let g_analytic = ln.gamma.grad.clone();
+        for idx in 0..5 {
+            let orig = ln.gamma.value.data[idx];
+            ln.gamma.value.data[idx] = orig + eps;
+            let plus = loss(&ln.infer(&x), &c);
+            ln.gamma.value.data[idx] = orig - eps;
+            let minus = loss(&ln.infer(&x), &c);
+            ln.gamma.value.data[idx] = orig;
+            let num = (plus - minus) / (2.0 * eps);
+            assert!((num - g_analytic.data[idx]).abs() < 1e-6, "gamma[{idx}]");
+        }
+    }
+
+    #[test]
+    fn block_shapes_and_infer_parity() {
+        let mut b = TransformerBlock::new(8, 2, &mut init::rng(4));
+        let x = seq(6, 8, 5);
+        let y = b.forward(&x);
+        assert_eq!((y.rows, y.cols), (6, 8));
+        let z = b.infer(&x);
+        for (u, v) in y.data.iter().zip(&z.data) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_input_gradcheck() {
+        let mut b = TransformerBlock::new(4, 2, &mut init::rng(6));
+        let x = seq(3, 4, 7);
+        let c = seq(3, 4, 8);
+        b.forward(&x);
+        let dx = b.backward(&c);
+        let eps = 1e-6;
+        for idx in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss(&b.infer(&xp), &c) - loss(&b.infer(&xm), &c)) / (2.0 * eps);
+            assert!((num - dx.data[idx]).abs() < 2e-5, "x[{idx}]: {num} vs {}", dx.data[idx]);
+        }
+    }
+
+    #[test]
+    fn block_param_gradcheck_spot() {
+        let mut b = TransformerBlock::new(4, 2, &mut init::rng(9));
+        let x = seq(3, 4, 10);
+        let c = seq(3, 4, 11);
+        b.forward(&x);
+        b.backward(&c);
+        let analytic: Vec<Vec<f64>> =
+            b.parameters().iter().map(|p| p.grad.data.clone()).collect();
+        let eps = 1e-6;
+        let n_params = analytic.len();
+        for pi in 0..n_params {
+            // Check up to the first three entries of each tensor.
+            for idx in 0..analytic[pi].len().min(3) {
+                let perturb = |e: f64| {
+                    let mut b2 = b.clone();
+                    b2.parameters()[pi].value.data[idx] += e;
+                    loss(&b2.infer(&x), &c)
+                };
+                let num = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+                assert!(
+                    (num - analytic[pi][idx]).abs() < 2e-5,
+                    "param {pi} idx {idx}: {num} vs {}",
+                    analytic[pi][idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positional_encoding_distinguishes_positions() {
+        let mut a = Matrix::zeros(4, 6);
+        add_positional_encoding(&mut a);
+        assert_ne!(a.row(0), a.row(1));
+        assert_ne!(a.row(1), a.row(3));
+        // First row: sin(0)=0, cos(0)=1 alternating.
+        assert_eq!(a.row(0)[0], 0.0);
+        assert_eq!(a.row(0)[1], 1.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Actor-critic learner over candidate-scoring policies (Eq. 9).
+//!
+//! FASTFT's agents choose among a *variable* number of candidates (feature
+//! clusters or operations), each described by its own feature vector
+//! `Rep(candidate) ⊕ Rep(state)`. The actor is therefore a scoring network:
+//! an MLP maps each candidate vector to a logit, and the policy is the
+//! softmax over the candidate set. The critic maps the state representation
+//! to a scalar value `V(s)`; advantages `A = r + γV(s') − V(s)` weight the
+//! policy gradient, and the same TD error is the replay priority (Eq. 10).
+//!
+//! [`Actor`] and [`Critic`] are exposed separately because the cascading
+//! system shares one critic across its three actors; [`ActorCritic`] bundles
+//! them for single-agent use.
+
+use fastft_nn::activation::softmax_inplace;
+use fastft_nn::matrix::Matrix;
+use fastft_nn::{Adam, Mlp};
+use rand::Rng;
+
+/// A softmax candidate-scoring policy.
+#[derive(Debug, Clone)]
+pub struct Actor {
+    net: Mlp,
+    opt: Adam,
+}
+
+impl Actor {
+    /// Create a policy over `candidate_dim`-dimensional candidate vectors.
+    pub fn new(candidate_dim: usize, hidden: usize, lr: f64, seed: u64) -> Self {
+        Actor { net: Mlp::new(&[candidate_dim, hidden, 1], seed), opt: Adam::new(lr) }
+    }
+
+    /// Softmax policy over a candidate set.
+    pub fn policy(&self, candidates: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!candidates.is_empty(), "empty candidate set");
+        let mut logits: Vec<f64> = candidates.iter().map(|c| self.net.infer_vec(c)[0]).collect();
+        softmax_inplace(&mut logits);
+        logits
+    }
+
+    /// Sample an action from the softmax policy.
+    pub fn select<R: Rng + ?Sized>(&self, candidates: &[Vec<f64>], rng: &mut R) -> usize {
+        sample_categorical(&self.policy(candidates), rng)
+    }
+
+    /// Greedy action (highest logit).
+    pub fn select_greedy(&self, candidates: &[Vec<f64>]) -> usize {
+        argmax(&self.policy(candidates))
+    }
+
+    /// Policy-gradient step: `L_π = −log π(a|s) · A` (Eq. 9, actor update).
+    pub fn update(&mut self, candidates: &[Vec<f64>], action: usize, advantage: f64) {
+        let n = candidates.len();
+        assert!(action < n);
+        let dim = candidates[0].len();
+        let mut batch = Matrix::zeros(n, dim);
+        for (r, c) in candidates.iter().enumerate() {
+            batch.row_mut(r).copy_from_slice(c);
+        }
+        let logits = self.net.forward(&batch);
+        let mut probs: Vec<f64> = logits.data.clone();
+        softmax_inplace(&mut probs);
+        // d(−logπ(a)·A)/d logit_i = A · (π_i − 1[i = a])
+        let dlogits: Vec<f64> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| advantage * (p - f64::from(u8::from(i == action))))
+            .collect();
+        self.net.backward(&Matrix::from_vec(n, 1, dlogits));
+        self.opt.step(self.net.parameters());
+    }
+}
+
+/// A state-value estimator `V(s)`.
+#[derive(Debug, Clone)]
+pub struct Critic {
+    net: Mlp,
+    opt: Adam,
+}
+
+impl Critic {
+    /// Create over `state_dim`-dimensional state vectors.
+    pub fn new(state_dim: usize, hidden: usize, lr: f64, seed: u64) -> Self {
+        Critic { net: Mlp::new(&[state_dim, hidden, 1], seed), opt: Adam::new(lr) }
+    }
+
+    /// Value estimate.
+    pub fn value(&self, state: &[f64]) -> f64 {
+        self.net.infer_vec(state)[0]
+    }
+
+    /// Regression step toward `target = r + γ·V(s')` (Eq. 9, critic
+    /// update). Returns the pre-update squared error.
+    pub fn update(&mut self, state: &[f64], target: f64) -> f64 {
+        let x = Matrix::row_vector(state.to_vec());
+        let v = self.net.forward(&x);
+        let err = v.data[0] - target;
+        self.net.backward(&Matrix::row_vector(vec![2.0 * err]));
+        self.opt.step(self.net.parameters());
+        err * err
+    }
+}
+
+/// Actor + critic bundle for single-agent use.
+#[derive(Debug, Clone)]
+pub struct ActorCritic {
+    /// The policy.
+    pub actor: Actor,
+    /// The value function.
+    pub critic: Critic,
+    /// Discount factor γ.
+    pub gamma: f64,
+}
+
+impl ActorCritic {
+    /// Create an agent: candidates are `action_dim`-dimensional, states are
+    /// `state_dim`-dimensional, both networks get one `hidden`-wide layer.
+    pub fn new(action_dim: usize, state_dim: usize, hidden: usize, lr: f64, seed: u64) -> Self {
+        ActorCritic {
+            actor: Actor::new(action_dim, hidden, lr, seed),
+            critic: Critic::new(state_dim, hidden, lr, seed.wrapping_add(1)),
+            gamma: 0.99,
+        }
+    }
+
+    /// Softmax policy over a candidate set.
+    pub fn policy(&self, candidates: &[Vec<f64>]) -> Vec<f64> {
+        self.actor.policy(candidates)
+    }
+
+    /// Sample an action from the policy.
+    pub fn select<R: Rng + ?Sized>(&self, candidates: &[Vec<f64>], rng: &mut R) -> usize {
+        self.actor.select(candidates, rng)
+    }
+
+    /// Greedy action.
+    pub fn select_greedy(&self, candidates: &[Vec<f64>]) -> usize {
+        self.actor.select_greedy(candidates)
+    }
+
+    /// Critic value estimate `V(s)`.
+    pub fn value(&self, state: &[f64]) -> f64 {
+        self.critic.value(state)
+    }
+
+    /// TD error `δ = r + γ·V(s') − V(s)` (Eq. 10's priority); pass
+    /// `next_value = 0` at episode boundaries.
+    pub fn td_error(&self, state: &[f64], reward: f64, next_value: f64) -> f64 {
+        reward + self.gamma * next_value - self.value(state)
+    }
+
+    /// Policy-gradient step on one decision.
+    pub fn update_actor(&mut self, candidates: &[Vec<f64>], action: usize, advantage: f64) {
+        self.actor.update(candidates, action, advantage);
+    }
+
+    /// Critic regression step; returns the pre-update squared error.
+    pub fn update_critic(&mut self, state: &[f64], target: f64) -> f64 {
+        self.critic.update(state, target)
+    }
+}
+
+/// Sample an index from a normalised probability vector.
+pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    let mut target = rng.gen::<f64>();
+    for (i, &p) in probs.iter().enumerate() {
+        target -= p;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Index of the maximum element.
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Contextual bandit: two contexts, two actions; reward 1 when the
+    /// action index matches the context.
+    fn candidates_for(ctx: usize) -> Vec<Vec<f64>> {
+        (0..2)
+            .map(|a| vec![ctx as f64, f64::from(u8::from(a == 0)), f64::from(u8::from(a == 1))])
+            .collect()
+    }
+
+    #[test]
+    fn policy_is_distribution() {
+        let ac = ActorCritic::new(3, 1, 8, 0.01, 1);
+        let p = ac.policy(&candidates_for(0));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn learns_contextual_bandit() {
+        let mut ac = ActorCritic::new(3, 1, 16, 0.02, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for step in 0..1500 {
+            let ctx = step % 2;
+            let cands = candidates_for(ctx);
+            let a = ac.select(&cands, &mut rng);
+            let r = f64::from(u8::from(a == ctx));
+            let state = vec![ctx as f64];
+            // One-step episode: advantage = r − V(s).
+            let adv = r - ac.value(&state);
+            ac.update_actor(&cands, a, adv);
+            ac.update_critic(&state, r);
+        }
+        for ctx in 0..2 {
+            let a = ac.select_greedy(&candidates_for(ctx));
+            assert_eq!(a, ctx, "ctx {ctx}");
+            let p = ac.policy(&candidates_for(ctx));
+            assert!(p[ctx] > 0.8, "π(correct|{ctx}) = {}", p[ctx]);
+        }
+    }
+
+    #[test]
+    fn critic_regresses_to_target() {
+        let mut ac = ActorCritic::new(2, 2, 8, 0.05, 4);
+        for _ in 0..400 {
+            ac.update_critic(&[1.0, 0.0], 3.0);
+            ac.update_critic(&[0.0, 1.0], -1.0);
+        }
+        assert!((ac.value(&[1.0, 0.0]) - 3.0).abs() < 0.2);
+        assert!((ac.value(&[0.0, 1.0]) + 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn td_error_formula() {
+        let mut ac = ActorCritic::new(2, 1, 4, 0.05, 5);
+        ac.gamma = 0.5;
+        for _ in 0..300 {
+            ac.update_critic(&[0.0], 1.0);
+        }
+        let delta = ac.td_error(&[0.0], 2.0, 4.0);
+        // δ = 2 + 0.5·4 − V(0) ≈ 4 − 1 = 3
+        assert!((delta - 3.0).abs() < 0.2, "delta {delta}");
+    }
+
+    #[test]
+    fn sample_categorical_respects_mass() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..1000)
+            .filter(|_| sample_categorical(&[0.05, 0.9, 0.05], &mut rng) == 1)
+            .count();
+        assert!(hits > 830, "hits {hits}");
+    }
+
+    #[test]
+    fn standalone_actor_learns_bandit() {
+        // Pure REINFORCE with a constant baseline of 0.5.
+        let mut actor = Actor::new(3, 16, 0.02, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        for step in 0..1500 {
+            let ctx = step % 2;
+            let cands = candidates_for(ctx);
+            let a = actor.select(&cands, &mut rng);
+            let r = f64::from(u8::from(a == ctx));
+            actor.update(&cands, a, r - 0.5);
+        }
+        assert_eq!(actor.select_greedy(&candidates_for(0)), 0);
+        assert_eq!(actor.select_greedy(&candidates_for(1)), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_panics() {
+        let ac = ActorCritic::new(2, 1, 4, 0.01, 7);
+        let _ = ac.policy(&[]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Reinforcement-learning substrate for FASTFT.
+//!
+//! - [`replay`]: prioritized (Eq. 10) and uniform experience replay.
+//! - [`actor_critic`]: the paper's default learner (Eq. 9) over
+//!   candidate-scoring policies.
+//! - [`dqn`]: DQN / Double / Dueling / DuelingDouble variants for the Fig. 7
+//!   framework ablation.
+//! - [`schedule`]: the Eq. 6 exponential novelty-weight decay and an
+//!   ε-greedy linear schedule.
+
+pub mod actor_critic;
+pub mod dqn;
+pub mod replay;
+pub mod schedule;
+
+pub use actor_critic::ActorCritic;
+pub use dqn::{QAgent, QKind};
+pub use replay::{PrioritizedReplay, Transition, UniformReplay};
+pub use schedule::ExpDecay;

@@ -1,0 +1,292 @@
+//! Experience replay buffers.
+//!
+//! [`PrioritizedReplay`] implements the paper's "Replay Critical
+//! Transformation Memory" (Eq. 10): each memory carries a priority
+//! (the TD error) and is sampled with probability proportional to it.
+//! Following standard prioritized-experience-replay practice we use
+//! `|δ| + ε` so probabilities stay positive and well-defined (noted in
+//! DESIGN.md §4). [`UniformReplay`] backs the FASTFT⁻ᴿᶜᵀ ablation.
+
+use rand::Rng;
+
+/// A generic RL transition; the FASTFT engine stores richer memory units
+/// (`<s, a, r, s', T, v>`) by instantiating `M` with its own type, but this
+/// concrete transition covers the plain RL substrates and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State representation.
+    pub state: Vec<f64>,
+    /// Chosen action index.
+    pub action: usize,
+    /// Observed reward.
+    pub reward: f64,
+    /// Next-state representation.
+    pub next_state: Vec<f64>,
+    /// Whether the episode ended at this step.
+    pub done: bool,
+}
+
+/// Ring-buffer prioritized replay (proportional variant).
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay<M> {
+    capacity: usize,
+    items: Vec<M>,
+    priorities: Vec<f64>,
+    write: usize,
+    eps: f64,
+}
+
+impl<M> PrioritizedReplay<M> {
+    /// Create with a fixed capacity (paper: S = 16).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        PrioritizedReplay {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            priorities: Vec::with_capacity(capacity),
+            write: 0,
+            eps: 1e-3,
+        }
+    }
+
+    /// Number of stored memories.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert a memory with priority `|delta|` (TD error). Overwrites the
+    /// oldest entry once full (FIFO ring), matching the paper's fixed-size
+    /// memory that keeps "key memories updated" (§VI-F).
+    pub fn push(&mut self, item: M, delta: f64) {
+        let p = delta.abs() + self.eps;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            self.priorities.push(p);
+        } else {
+            self.items[self.write] = item;
+            self.priorities[self.write] = p;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Sample one index with probability `P_i / Σ_k P_k` (Eq. 10).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let total: f64 = self.priorities.iter().sum();
+        let mut target = rng.gen::<f64>() * total;
+        for (i, &p) in self.priorities.iter().enumerate() {
+            target -= p;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+        Some(self.items.len() - 1)
+    }
+
+    /// Sample a memory by priority.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&M> {
+        self.sample_index(rng).map(|i| &self.items[i])
+    }
+
+    /// Sample `k` memories by priority (with replacement).
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<&M> {
+        (0..k).filter_map(|_| self.sample(rng)).collect()
+    }
+
+    /// Sample a memory uniformly (used for evaluation-component fine-tuning,
+    /// Alg. 1 line 16 / Alg. 2 line 21).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&M> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(&self.items[rng.gen_range(0..self.items.len())])
+        }
+    }
+
+    /// Update the priority of a stored memory (after recomputing its TD
+    /// error).
+    pub fn update_priority(&mut self, index: usize, delta: f64) {
+        self.priorities[index] = delta.abs() + self.eps;
+    }
+
+    /// Iterate over the stored memories.
+    pub fn iter(&self) -> impl Iterator<Item = &M> {
+        self.items.iter()
+    }
+
+    /// Current priority of a stored memory.
+    pub fn priority(&self, index: usize) -> f64 {
+        self.priorities[index]
+    }
+}
+
+/// Plain FIFO buffer with uniform sampling (the FASTFT⁻ᴿᶜᵀ ablation).
+#[derive(Debug, Clone)]
+pub struct UniformReplay<M> {
+    capacity: usize,
+    items: Vec<M>,
+    write: usize,
+}
+
+impl<M> UniformReplay<M> {
+    /// Create with a fixed capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        UniformReplay { capacity, items: Vec::with_capacity(capacity), write: 0 }
+    }
+
+    /// Number of stored memories.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert, overwriting the oldest entry once full.
+    pub fn push(&mut self, item: M) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.write] = item;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Sample uniformly.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&M> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(&self.items[rng.gen_range(0..self.items.len())])
+        }
+    }
+
+    /// Iterate over stored memories.
+    pub fn iter(&self) -> impl Iterator<Item = &M> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_until_full_then_overwrite_oldest() {
+        let mut buf = PrioritizedReplay::new(3);
+        for i in 0..5 {
+            buf.push(i, 1.0);
+        }
+        assert!(buf.is_full());
+        let items: Vec<i32> = buf.iter().copied().collect();
+        // Ring: slots hold [3, 4, 2].
+        assert_eq!(items, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn sampling_prefers_high_priority() {
+        let mut buf = PrioritizedReplay::new(2);
+        buf.push("low", 0.001);
+        buf.push("high", 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let highs = (0..1000)
+            .filter(|_| *buf.sample(&mut rng).unwrap() == "high")
+            .count();
+        assert!(highs > 950, "high sampled {highs}/1000");
+    }
+
+    #[test]
+    fn zero_delta_still_sampleable() {
+        let mut buf = PrioritizedReplay::new(2);
+        buf.push(1, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(buf.sample(&mut rng), Some(&1));
+    }
+
+    #[test]
+    fn negative_delta_treated_by_magnitude() {
+        let mut buf = PrioritizedReplay::new(2);
+        buf.push("neg", -50.0);
+        buf.push("tiny", 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let negs = (0..500).filter(|_| *buf.sample(&mut rng).unwrap() == "neg").count();
+        assert!(negs > 450, "neg sampled {negs}/500");
+    }
+
+    #[test]
+    fn empty_buffer_returns_none() {
+        let buf: PrioritizedReplay<u8> = PrioritizedReplay::new(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(buf.sample(&mut rng).is_none());
+        assert!(buf.sample_uniform(&mut rng).is_none());
+    }
+
+    #[test]
+    fn update_priority_changes_distribution() {
+        let mut buf = PrioritizedReplay::new(2);
+        buf.push(0, 1.0);
+        buf.push(1, 1.0);
+        buf.update_priority(0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let zeros = (0..500).filter(|_| *buf.sample(&mut rng).unwrap() == 0).count();
+        assert!(zeros > 450, "zeros {zeros}/500");
+    }
+
+    #[test]
+    fn uniform_replay_round_trips() {
+        let mut buf = UniformReplay::new(2);
+        buf.push(10);
+        buf.push(20);
+        buf.push(30); // overwrites 10
+        let items: Vec<i32> = buf.iter().copied().collect();
+        assert_eq!(items, vec![30, 20]);
+    }
+
+    #[test]
+    fn uniform_sampling_is_roughly_uniform() {
+        let mut buf = UniformReplay::new(4);
+        for i in 0..4 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[*buf.sample(&mut rng).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn batch_sampling_size() {
+        let mut buf = PrioritizedReplay::new(8);
+        for i in 0..8 {
+            buf.push(i, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(buf.sample_batch(&mut rng, 5).len(), 5);
+    }
+}

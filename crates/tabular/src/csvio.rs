@@ -1,0 +1,116 @@
+//! Minimal CSV import/export for [`Dataset`].
+//!
+//! Format: a header row of feature names followed by a final `target`
+//! column; all values numeric. This is enough to round-trip generated
+//! datasets to disk and to load user-supplied numeric tables.
+
+use crate::dataset::{Column, Dataset, TaskType};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Write a dataset as CSV (`f0,f1,...,target`).
+pub fn write_csv(data: &Dataset, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header: Vec<&str> = data.features.iter().map(|c| c.name.as_str()).collect();
+    writeln!(w, "{},target", header.join(","))?;
+    for i in 0..data.n_rows() {
+        for c in &data.features {
+            write!(w, "{},", c.values[i])?;
+        }
+        writeln!(w, "{}", data.targets[i])?;
+    }
+    w.flush()
+}
+
+/// Read a CSV written by [`write_csv`] (or any numeric CSV whose last column
+/// is the target). Task metadata must be supplied by the caller because CSV
+/// carries no task information.
+pub fn read_csv(path: &Path, name: &str, task: TaskType, n_classes: usize) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut lines = std::io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let names: Vec<String> = header.split(',').map(str::to_owned).collect();
+    if names.len() < 2 {
+        return Err("need at least one feature column plus target".into());
+    }
+    let n_feats = names.len() - 1;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_feats];
+    let mut targets = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != names.len() {
+            return Err(format!("row {}: expected {} cells, got {}", lineno + 2, names.len(), cells.len()));
+        }
+        for (j, cell) in cells[..n_feats].iter().enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|e| format!("row {}, col {j}: {e}", lineno + 2))?;
+            columns[j].push(v);
+        }
+        let y: f64 = cells[n_feats]
+            .trim()
+            .parse()
+            .map_err(|e| format!("row {}, target: {e}", lineno + 2))?;
+        targets.push(y);
+    }
+    let features = names[..n_feats]
+        .iter()
+        .zip(columns)
+        .map(|(n, values)| Column::new(n.clone(), values))
+        .collect();
+    Dataset::new(name, features, targets, task, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+
+    #[test]
+    fn csv_round_trip() {
+        let spec = datagen::by_name("pima_indian").unwrap();
+        let d = datagen::generate_capped(spec, 50, 0);
+        let dir = std::env::temp_dir().join("fastft_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pima.csv");
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path, "pima_indian", d.task, d.n_classes).unwrap();
+        assert_eq!(back.n_rows(), d.n_rows());
+        assert_eq!(back.n_features(), d.n_features());
+        for (a, b) in d.features.iter().zip(&back.features) {
+            assert_eq!(a.name, b.name);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+        assert_eq!(d.targets, back.targets);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("fastft_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.csv");
+        std::fs::write(&path, "a,b,target\n1,2,0\n1,0\n").unwrap();
+        let err = read_csv(&path, "x", TaskType::Classification, 2);
+        assert!(err.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let dir = std::env::temp_dir().join("fastft_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alpha.csv");
+        std::fs::write(&path, "a,target\nhello,0\n").unwrap();
+        assert!(read_csv(&path, "x", TaskType::Classification, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,206 @@
+//! Dataset profiling: per-column summaries, pairwise correlations and
+//! target balance — the "look before you transform" report a data-centric
+//! library owes its users.
+
+use crate::dataset::Dataset;
+use crate::stats::describe;
+use std::fmt::Write as _;
+
+/// Summary of one feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Fraction of non-finite cells.
+    pub missing_frac: f64,
+}
+
+/// Profile every column of a dataset.
+pub fn profile_columns(data: &Dataset) -> Vec<ColumnProfile> {
+    data.features
+        .iter()
+        .map(|c| {
+            let finite: Vec<f64> = c.values.iter().copied().filter(|v| v.is_finite()).collect();
+            let d = describe(&finite);
+            let mut sorted = finite.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            ColumnProfile {
+                name: c.name.clone(),
+                mean: d[0],
+                std: d[1],
+                min: d[2],
+                max: d[6],
+                distinct: sorted.len(),
+                missing_frac: if c.values.is_empty() {
+                    0.0
+                } else {
+                    (c.values.len() - finite.len()) as f64 / c.values.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Pearson correlation between two equal-length vectors (0 for degenerate
+/// inputs).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// The `k` most correlated feature pairs `(i, j, |r|)`, strongest first.
+pub fn top_correlated_pairs(data: &Dataset, k: usize) -> Vec<(usize, usize, f64)> {
+    let d = data.n_features();
+    let mut pairs = Vec::new();
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let r = pearson(&data.features[i].values, &data.features[j].values);
+            pairs.push((i, j, r.abs()));
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    pairs.truncate(k);
+    pairs
+}
+
+/// Per-class counts for discrete tasks (empty for regression).
+pub fn class_balance(data: &Dataset) -> Vec<usize> {
+    if !data.task.is_discrete() {
+        return Vec::new();
+    }
+    let mut counts = vec![0usize; data.n_classes];
+    for &y in &data.targets {
+        counts[y as usize] += 1;
+    }
+    counts
+}
+
+/// Render a full text profile.
+pub fn render(data: &Dataset) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{}: {} rows x {} cols, {} task",
+        data.name,
+        data.n_rows(),
+        data.n_features(),
+        data.task
+    );
+    let balance = class_balance(data);
+    if !balance.is_empty() {
+        let _ = writeln!(s, "class balance: {balance:?}");
+    }
+    let _ = writeln!(s, "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}", "column", "mean", "std", "min", "max", "distinct", "missing");
+    for p in profile_columns(data) {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>7.1}%",
+            p.name,
+            p.mean,
+            p.std,
+            p.min,
+            p.max,
+            p.distinct,
+            100.0 * p.missing_frac
+        );
+    }
+    for (i, j, r) in top_correlated_pairs(data, 3) {
+        let _ = writeln!(
+            s,
+            "corr |r|={r:.3}: {} ~ {}",
+            data.features[i].name, data.features[j].name
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Column, TaskType};
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                Column::new("a", vec![1.0, 2.0, 3.0, 4.0]),
+                Column::new("b", vec![2.0, 4.0, 6.0, 8.0]),
+                Column::new("c", vec![5.0, 5.0, 5.0, f64::NAN]),
+            ],
+            vec![0.0, 1.0, 0.0, 1.0],
+            TaskType::Classification,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_profiles() {
+        let p = profile_columns(&toy());
+        assert_eq!(p[0].mean, 2.5);
+        assert_eq!(p[0].min, 1.0);
+        assert_eq!(p[0].max, 4.0);
+        assert_eq!(p[0].distinct, 4);
+        assert_eq!(p[2].distinct, 1);
+        assert!((p[2].missing_frac - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0); // constant input
+    }
+
+    #[test]
+    fn top_pairs_finds_linear_relation() {
+        let pairs = top_correlated_pairs(&toy(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (0, 1));
+        assert!(pairs[0].2 > 0.999);
+    }
+
+    #[test]
+    fn class_balance_counts() {
+        assert_eq!(class_balance(&toy()), vec![2, 2]);
+        let mut reg = toy();
+        reg.task = TaskType::Regression;
+        assert!(class_balance(&reg).is_empty());
+    }
+
+    #[test]
+    fn render_contains_key_facts() {
+        let s = render(&toy());
+        assert!(s.contains("4 rows x 3 cols"));
+        assert!(s.contains("class balance"));
+        assert!(s.contains("corr |r|="));
+    }
+}

@@ -1,0 +1,96 @@
+//! Seeded RNG helpers shared across the workspace.
+//!
+//! `rand 0.8` without `rand_distr` has no Gaussian sampler, so we provide a
+//! Box–Muller implementation here (DESIGN.md §5 keeps the dependency list to
+//! the approved offline crates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the workspace-standard deterministic RNG from a `u64` seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample `n` iid standard normals.
+pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| normal(rng)).collect()
+}
+
+/// Fisher–Yates shuffle of an index range `0..n`.
+pub fn shuffled_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Sample `k` distinct indices from `0..n` (k <= n), order unspecified.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n}");
+    // Partial Fisher–Yates: only the first k swaps are needed.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(7);
+        let xs = normal_vec(&mut r, 50_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = normal_vec(&mut rng(42), 10);
+        let b = normal_vec(&mut rng(42), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = rng(3);
+        let mut s = shuffled_indices(&mut r, 100);
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let mut r = rng(5);
+        let mut s = sample_without_replacement(&mut r, 50, 20);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversample_panics() {
+        let mut r = rng(1);
+        let _ = sample_without_replacement(&mut r, 3, 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run FASTFT on a benchmark dataset analog and print the
+//! improvement plus the traceable feature expressions it found.
+//!
+//! ```text
+//! cargo run --release -p fastft-examples --bin quickstart [dataset] [seed]
+//! ```
+
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_tabular::datagen;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("pima_indian");
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let spec = datagen::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown dataset `{name}`; available:");
+        for s in &datagen::PAPER_CATALOG {
+            eprintln!("  {} ({} rows x {} cols, {})", s.name, s.rows, s.cols, s.task);
+        }
+        std::process::exit(2);
+    });
+    let mut data = datagen::generate_capped(spec, 600, seed);
+    data.sanitize();
+    println!(
+        "dataset: {name} ({} rows x {} cols, {} task)",
+        data.n_rows(),
+        data.n_features(),
+        data.task
+    );
+
+    let cfg = FastFtConfig { seed, ..FastFtConfig::quick() };
+    let result = FastFt::new(cfg).fit(&data);
+
+    println!("\nbase score:  {:.4}", result.base_score);
+    println!("best score:  {:.4}  (+{:.4})", result.best_score, result.best_score - result.base_score);
+    println!(
+        "downstream evaluations: {} | predictor calls: {}",
+        result.telemetry.downstream_evals, result.telemetry.predictor_calls
+    );
+    println!(
+        "time: {:.1}s total ({:.1}s evaluation, {:.1}s estimation, {:.1}s optimization)",
+        result.telemetry.total_secs,
+        result.telemetry.evaluation_secs,
+        result.telemetry.estimation_secs,
+        result.telemetry.optimization_secs
+    );
+    println!("\nbest feature set ({} features):", result.best_exprs.len());
+    for e in &result.best_exprs {
+        println!("  {e}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Train/serve workflow: discover a feature set with FASTFT on one sample
+//! of a dataset, save it as plain text, then re-load and apply it to a
+//! *fresh* sample drawn from the same distribution — the deployment pattern
+//! the traceable expression format enables.
+
+use fastft_core::report::{apply_feature_set, load_feature_set, save_feature_set, summary};
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_ml::Evaluator;
+use fastft_tabular::datagen;
+
+fn main() {
+    let spec = datagen::by_name("svmguide3").unwrap();
+    // "Training-time" sample.
+    let mut train = datagen::generate_capped(spec, 500, 0);
+    train.sanitize();
+    let result = FastFt::new(FastFtConfig::quick()).fit(&train);
+    println!("--- search on the training sample ---");
+    print!("{}", summary(&result));
+
+    // Save the discovered feature set as text (what you'd commit/ship).
+    let saved = save_feature_set(&result.best_exprs);
+    println!("--- saved feature set ({} bytes) ---\n{saved}", saved.len());
+
+    // "Serving-time": a fresh sample from the same generator (different
+    // seed = different rows), transformed with the re-loaded expressions.
+    let mut fresh = datagen::generate_capped(spec, 500, 99);
+    fresh.sanitize();
+    let exprs = load_feature_set(&saved).expect("saved text parses");
+    let transformed = apply_feature_set(&fresh, &exprs).expect("schema matches");
+
+    let evaluator = Evaluator::default();
+    let base = evaluator.evaluate(&fresh);
+    let with = evaluator.evaluate(&transformed);
+    println!("--- fresh sample ---");
+    println!("original features : F1 = {base:.4}");
+    println!("transferred set   : F1 = {with:.4} ({:+.4})", with - base);
+}

@@ -1,0 +1,2 @@
+//! Host crate for the cross-crate integration tests; the test modules live
+//! in the sibling `tests/` directory.

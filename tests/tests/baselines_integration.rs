@@ -1,0 +1,84 @@
+//! Integration across the baseline registry: every Table I method runs on
+//! every task type, produces consistent artifacts, and respects the shared
+//! evaluator.
+
+use fastft_baselines::{all_methods, standard_methods};
+use fastft_ml::Evaluator;
+use fastft_tabular::datagen;
+
+fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
+    let spec = datagen::by_name(name).unwrap();
+    let mut d = datagen::generate_capped(spec, rows, 0);
+    d.sanitize();
+    d
+}
+
+#[test]
+fn every_method_runs_on_classification() {
+    let data = load("pima_indian", 150);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    for method in all_methods() {
+        let r = method.run(&data, &ev, 0);
+        assert!((0.0..=1.0).contains(&r.score), "{}: score {}", method.name(), r.score);
+        assert_eq!(r.dataset.n_rows(), data.n_rows(), "{}", method.name());
+        assert!(r.elapsed_secs > 0.0);
+    }
+}
+
+#[test]
+fn every_method_runs_on_regression() {
+    let data = load("openml_620", 150);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    for method in standard_methods() {
+        let r = method.run(&data, &ev, 1);
+        assert!(r.score.is_finite(), "{}: {}", method.name(), r.score);
+    }
+}
+
+#[test]
+fn every_method_runs_on_detection() {
+    let data = load("thyroid", 400);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    for method in standard_methods() {
+        let r = method.run(&data, &ev, 2);
+        assert!((0.0..=1.0).contains(&r.score), "{}: {}", method.name(), r.score);
+    }
+}
+
+#[test]
+fn transformed_datasets_keep_targets_intact() {
+    // Definition 2: labels never change under feature transformation.
+    let data = load("svmguide3", 150);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    for method in all_methods() {
+        let r = method.run(&data, &ev, 3);
+        assert_eq!(r.dataset.targets, data.targets, "{} mutated targets", method.name());
+        assert_eq!(r.dataset.task, data.task);
+    }
+}
+
+#[test]
+fn methods_are_deterministic_given_seed() {
+    let data = load("pima_indian", 120);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    for method in standard_methods() {
+        let a = method.run(&data, &ev, 9);
+        let b = method.run(&data, &ev, 9);
+        assert_eq!(a.score, b.score, "{} nondeterministic", method.name());
+        assert_eq!(a.downstream_evals, b.downstream_evals, "{}", method.name());
+    }
+}
+
+#[test]
+fn only_caafe_reports_simulated_latency() {
+    let data = load("pima_indian", 120);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    for method in standard_methods() {
+        let r = method.run(&data, &ev, 4);
+        if method.name() == "CAAFE" {
+            assert!(r.simulated_latency_secs > 0.0);
+        } else {
+            assert_eq!(r.simulated_latency_secs, 0.0, "{}", method.name());
+        }
+    }
+}

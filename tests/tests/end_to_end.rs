@@ -1,0 +1,110 @@
+//! End-to-end integration: the full FASTFT pipeline against the synthetic
+//! benchmark analogs, checking cross-crate invariants the unit tests can't
+//! see — the best dataset, its expressions and the reported score must all
+//! agree when re-derived from scratch.
+
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_ml::Evaluator;
+use fastft_tabular::datagen;
+
+fn cfg() -> FastFtConfig {
+    FastFtConfig {
+        episodes: 5,
+        steps_per_episode: 5,
+        cold_start_episodes: 2,
+        retrain_every: 2,
+        retrain_epochs: 8,
+        evaluator: Evaluator { folds: 3, ..Evaluator::default() },
+        ..FastFtConfig::default()
+    }
+}
+
+fn load(name: &str, rows: usize, seed: u64) -> fastft_tabular::Dataset {
+    let spec = datagen::by_name(name).unwrap();
+    let mut d = datagen::generate_capped(spec, rows, seed);
+    d.sanitize();
+    d
+}
+
+#[test]
+fn best_score_is_reproducible_from_best_dataset() {
+    let data = load("pima_indian", 250, 0);
+    let result = FastFt::new(cfg()).fit(&data);
+    // Re-evaluate the returned dataset with the same evaluator: must match
+    // the reported best exactly (same folds, same seed).
+    let re = cfg().evaluator.evaluate(&result.best_dataset);
+    assert!(
+        (re - result.best_score).abs() < 1e-12,
+        "reported {} but re-evaluation gives {re}",
+        result.best_score
+    );
+}
+
+#[test]
+fn best_exprs_regenerate_best_dataset() {
+    let data = load("pima_indian", 200, 1);
+    let result = FastFt::new(cfg()).fit(&data);
+    let base: Vec<Vec<f64>> = data.features.iter().map(|c| c.values.clone()).collect();
+    for (expr, col) in result.best_exprs.iter().zip(&result.best_dataset.features) {
+        let mut regen = expr.eval(&base);
+        fastft_core::transform::sanitize_column(&mut regen);
+        for (a, b) in regen.iter().zip(&col.values) {
+            assert!((a - b).abs() < 1e-9, "{expr} column mismatch");
+        }
+    }
+}
+
+#[test]
+fn fastft_finds_planted_interactions_better_than_random() {
+    // On the planted-interaction generator, FASTFT's guided search should
+    // beat pure random generation given the same downstream evaluator, on
+    // the majority of seeds.
+    use fastft_baselines::{expansion::Rfg, FeatureTransformMethod};
+    let evaluator = Evaluator { folds: 3, ..Evaluator::default() };
+    let mut wins = 0;
+    for seed in 0..3 {
+        let data = load("openml_620", 250, seed);
+        let fast = FastFt::new(FastFtConfig { seed, ..cfg() }).fit(&data);
+        let rfg = Rfg::default().run(&data, &evaluator, seed);
+        if fast.best_score >= rfg.score {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "FASTFT beat RFG on only {wins}/3 seeds");
+}
+
+#[test]
+fn all_task_types_improve_or_match_base() {
+    for (name, rows) in [("svmguide3", 250), ("openml_589", 250), ("mammography", 500)] {
+        let data = load(name, rows, 2);
+        let r = FastFt::new(cfg()).fit(&data);
+        assert!(
+            r.best_score >= r.base_score,
+            "{name}: best {} < base {}",
+            r.best_score,
+            r.base_score
+        );
+    }
+}
+
+#[test]
+fn telemetry_accounts_for_downstream_evaluations() {
+    let data = load("pima_indian", 200, 3);
+    let r = FastFt::new(cfg()).fit(&data);
+    // Evaluated (non-predicted) step records + the base evaluation can't
+    // exceed the telemetry count (component training doesn't evaluate).
+    let evaluated_steps = r.records.iter().filter(|x| !x.predicted).count();
+    assert_eq!(evaluated_steps + 1, r.telemetry.downstream_evals);
+}
+
+#[test]
+fn run_is_deterministic_across_processes_shape() {
+    let data = load("wine_quality_red", 200, 4);
+    let a = FastFt::new(cfg()).fit(&data);
+    let b = FastFt::new(cfg()).fit(&data);
+    assert_eq!(a.best_score, b.best_score);
+    assert_eq!(
+        a.best_exprs.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        b.best_exprs.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+}

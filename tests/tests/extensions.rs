@@ -1,0 +1,90 @@
+//! Integration tests for the extensions beyond the paper: the GRU encoder
+//! variant and the noise-robustness tooling.
+
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_ml::Evaluator;
+use fastft_nn::EncoderKind;
+use fastft_tabular::{datagen, noise};
+
+fn cfg() -> FastFtConfig {
+    FastFtConfig {
+        episodes: 4,
+        steps_per_episode: 4,
+        cold_start_episodes: 2,
+        retrain_every: 1,
+        retrain_epochs: 8,
+        evaluator: Evaluator { folds: 3, ..Evaluator::default() },
+        ..FastFtConfig::default()
+    }
+}
+
+fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
+    let spec = datagen::by_name(name).unwrap();
+    let mut d = datagen::generate_capped(spec, rows, 0);
+    d.sanitize();
+    d
+}
+
+#[test]
+fn gru_encoder_drives_full_pipeline() {
+    let data = load("pima_indian", 150);
+    let c = FastFtConfig { encoder: EncoderKind::Gru { layers: 2 }, ..cfg() };
+    let r = FastFt::new(c).fit(&data);
+    assert!(r.best_score >= r.base_score);
+    assert!(r.telemetry.predictor_calls > 0);
+}
+
+#[test]
+fn all_four_encoders_agree_on_api() {
+    let data = load("pima_indian", 120);
+    for enc in [
+        EncoderKind::Lstm { layers: 1 },
+        EncoderKind::Rnn { layers: 1 },
+        EncoderKind::Gru { layers: 1 },
+        EncoderKind::Transformer { heads: 2, blocks: 1 },
+    ] {
+        let c = FastFtConfig { encoder: enc, ..cfg() };
+        let r = FastFt::new(c).fit(&data);
+        assert!(r.best_score.is_finite(), "{}", enc.label());
+    }
+}
+
+#[test]
+fn label_noise_lowers_base_score() {
+    let clean = load("pima_indian", 300);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let clean_score = ev.evaluate(&clean);
+    let mut noisy = clean.clone();
+    noise::flip_labels(&mut noisy, 0.3, 1);
+    let noisy_score = ev.evaluate(&noisy);
+    assert!(
+        noisy_score < clean_score,
+        "30% label noise should hurt: clean {clean_score}, noisy {noisy_score}"
+    );
+}
+
+#[test]
+fn fastft_still_improves_under_moderate_noise() {
+    let mut data = load("pima_indian", 200);
+    noise::add_feature_noise(&mut data, 0.2, 2);
+    data.sanitize();
+    let r = FastFt::new(cfg()).fit(&data);
+    assert!(r.best_score >= r.base_score);
+}
+
+#[test]
+fn noise_does_not_break_dataset_invariants() {
+    let mut data = load("wine_quality_red", 200);
+    noise::add_feature_noise(&mut data, 1.0, 3);
+    noise::flip_labels(&mut data, 0.5, 4);
+    data.sanitize();
+    // Dataset::new-level invariants must still hold for downstream use.
+    let rebuilt = fastft_tabular::Dataset::new(
+        data.name.clone(),
+        data.features.clone(),
+        data.targets.clone(),
+        data.task,
+        data.n_classes,
+    );
+    assert!(rebuilt.is_ok());
+}

@@ -1,0 +1,134 @@
+//! Cross-crate component integration: evaluation components against real
+//! engine-produced sequences, downstream models against transformed data,
+//! and the CSV round trip through a full transformation.
+
+use fastft_core::novelty::NoveltyEstimator;
+use fastft_core::predictor::{PerformancePredictor, PredictorConfig};
+use fastft_core::sequence::{encode_feature_set, TokenVocab};
+use fastft_core::transform::FeatureSet;
+use fastft_core::Op;
+use fastft_ml::{Evaluator, ModelKind};
+use fastft_tabular::{csvio, datagen, rngx};
+
+fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
+    let spec = datagen::by_name(name).unwrap();
+    let mut d = datagen::generate_capped(spec, rows, 0);
+    d.sanitize();
+    d
+}
+
+/// Collect (sequence, downstream score) pairs the way the cold start does.
+fn collect_pairs(
+    data: &fastft_tabular::Dataset,
+    n: usize,
+) -> (TokenVocab, Vec<(Vec<usize>, f64)>) {
+    let vocab = TokenVocab::new(data.n_features());
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let mut rng = rngx::rng(5);
+    let mut out = Vec::new();
+    let ops: Vec<Op> = Op::ALL.to_vec();
+    for k in 0..n {
+        let mut fs = FeatureSet::from_original(data);
+        let op = ops[k % ops.len()];
+        let head = vec![k % data.n_features()];
+        let tail = vec![(k + 1) % data.n_features()];
+        let generated = if op.is_binary() {
+            fs.cross(&head, op, Some(&tail), 8, &mut rng)
+        } else {
+            fs.cross(&head, op, None, 8, &mut rng)
+        };
+        fs.extend(generated);
+        let seq = encode_feature_set(&fs.exprs, &vocab, 128);
+        let score = ev.evaluate(&fs.data);
+        out.push((seq, score));
+    }
+    (vocab, out)
+}
+
+#[test]
+fn predictor_learns_real_engine_sequences() {
+    let data = load("pima_indian", 200);
+    let (vocab, pairs) = collect_pairs(&data, 12);
+    let mut p = PerformancePredictor::new(
+        vocab.size(),
+        PredictorConfig { lr: 5e-3, ..PredictorConfig::default() },
+        0,
+    );
+    let loss_of = |p: &PerformancePredictor| -> f64 {
+        pairs
+            .iter()
+            .map(|(s, v)| {
+                let d = p.predict(s) - v;
+                d * d
+            })
+            .sum()
+    };
+    let before = loss_of(&p);
+    for _ in 0..60 {
+        for (s, v) in &pairs {
+            p.train_step(s, *v);
+        }
+    }
+    let after = loss_of(&p);
+    assert!(after < 0.2 * before, "before {before}, after {after}");
+}
+
+#[test]
+fn novelty_separates_seen_from_unseen_engine_sequences() {
+    let data = load("pima_indian", 200);
+    let (vocab, pairs) = collect_pairs(&data, 12);
+    let (seen, unseen) = pairs.split_at(8);
+    let mut ne = NoveltyEstimator::new(
+        vocab.size(),
+        PredictorConfig { lr: 5e-3, ..PredictorConfig::default() },
+        1,
+    );
+    for _ in 0..80 {
+        for (s, _) in seen {
+            ne.train_step(s);
+        }
+    }
+    let seen_avg: f64 =
+        seen.iter().map(|(s, _)| ne.novelty(s)).sum::<f64>() / seen.len() as f64;
+    let unseen_avg: f64 =
+        unseen.iter().map(|(s, _)| ne.novelty(s)).sum::<f64>() / unseen.len() as f64;
+    assert!(
+        unseen_avg > seen_avg,
+        "unseen {unseen_avg} should exceed seen {seen_avg}"
+    );
+}
+
+#[test]
+fn transformed_dataset_roundtrips_through_csv() {
+    let data = load("svmguide3", 120);
+    let mut fs = FeatureSet::from_original(&data);
+    let mut rng = rngx::rng(9);
+    let generated = fs.cross(&[0, 1], Op::Multiply, Some(&[2, 3]), 8, &mut rng);
+    fs.extend(generated);
+    let dir = std::env::temp_dir().join("fastft_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("transformed.csv");
+    csvio::write_csv(&fs.data, &path).unwrap();
+    let back = csvio::read_csv(&path, "transformed", data.task, data.n_classes).unwrap();
+    assert_eq!(back.n_features(), fs.data.n_features());
+    // Traceable names survive the round trip.
+    assert!(back.features.iter().any(|c| c.name.contains('*')));
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    assert_eq!(ev.evaluate(&fs.data), ev.evaluate(&back));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_downstream_model_scores_transformed_features() {
+    let data = load("german_credit", 150);
+    let mut fs = FeatureSet::from_original(&data);
+    let mut rng = rngx::rng(11);
+    let generated = fs.cross(&[0, 1, 2], Op::Plus, Some(&[3, 4]), 8, &mut rng);
+    fs.extend(generated);
+    fs.select_top(12, 10);
+    for model in ModelKind::TABLE3 {
+        let ev = Evaluator { model, folds: 3, ..Evaluator::default() };
+        let s = ev.evaluate(&fs.data);
+        assert!((0.0..=1.0).contains(&s), "{model:?}: {s}");
+    }
+}

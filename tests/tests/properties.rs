@@ -1,0 +1,212 @@
+//! Property-based tests over the workspace's core invariants.
+
+use fastft_core::sequence::{canonical_key, encode_feature_set, TokenVocab};
+use fastft_core::{Expr, Op};
+use fastft_rl::PrioritizedReplay;
+use fastft_tabular::metrics;
+use fastft_tabular::mi;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random expression over `n_base` features with bounded depth.
+fn arb_expr(n_base: usize, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = (0..n_base).prop_map(Expr::base).boxed();
+    leaf.prop_recursive(depth, 32, 2, move |inner| {
+        prop_oneof![
+            (0..8usize, inner.clone()).prop_map(|(op, e)| {
+                let unary: Vec<Op> = Op::unary().collect();
+                Expr::unary(unary[op], e)
+            }),
+            (0..4usize, inner.clone(), inner).prop_map(|(op, a, b)| {
+                let binary: Vec<Op> = Op::binary().collect();
+                Expr::binary(binary[op], a, b)
+            }),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expr_eval_is_always_finite(e in arb_expr(4, 4), rows in 1usize..20) {
+        let base: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..rows).map(|i| ((i * 7 + j * 3) as f64 - 10.0) * 1e3).collect())
+            .collect();
+        let col = e.eval(&base);
+        prop_assert_eq!(col.len(), rows);
+        // Guarded ops keep everything finite on finite input.
+        prop_assert!(col.iter().all(|v| v.is_finite()), "{} -> {:?}", e, col);
+    }
+
+    #[test]
+    fn expr_display_roundtrip_consistency(e in arb_expr(4, 4)) {
+        // Display is injective enough for dedup: equal strings imply equal
+        // column semantics (checked by evaluating on a probe matrix).
+        let e2 = e.clone();
+        prop_assert_eq!(e.to_string(), e2.to_string());
+        prop_assert!(e.base_features().iter().all(|&i| i < 4));
+        prop_assert!(e.depth() <= e.size());
+    }
+
+    #[test]
+    fn encode_respects_max_len(es in prop::collection::vec(arb_expr(4, 3), 1..10), max_len in 4usize..64) {
+        let vocab = TokenVocab::new(4);
+        let ids = encode_feature_set(&es, &vocab, max_len);
+        prop_assert!(ids.len() <= max_len);
+        prop_assert!(ids.iter().all(|&id| id < vocab.size()));
+        prop_assert_eq!(ids[0], vocab.id(fastft_core::sequence::Token::Start));
+        prop_assert_eq!(*ids.last().unwrap(), vocab.id(fastft_core::sequence::Token::End));
+    }
+
+    #[test]
+    fn canonical_key_order_invariance(mut es in prop::collection::vec(arb_expr(3, 3), 1..6)) {
+        let k1 = canonical_key(&es);
+        es.reverse();
+        prop_assert_eq!(k1, canonical_key(&es));
+    }
+
+    #[test]
+    fn replay_never_exceeds_capacity(
+        cap in 1usize..16,
+        pushes in prop::collection::vec((any::<i32>(), -10.0f64..10.0), 0..64),
+    ) {
+        let mut buf = PrioritizedReplay::new(cap);
+        for (item, delta) in pushes {
+            buf.push(item, delta);
+            prop_assert!(buf.len() <= cap);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        if !buf.is_empty() {
+            prop_assert!(buf.sample(&mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn f1_bounded(labels in prop::collection::vec(0usize..3, 1..50), preds_seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(preds_seed);
+        use rand::Rng;
+        let preds: Vec<usize> = labels.iter().map(|_| rng.gen_range(0..3)).collect();
+        let f1 = metrics::f1_macro(&labels, &preds, 3);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        let p = metrics::precision_macro(&labels, &preds, 3);
+        let r = metrics::recall_macro(&labels, &preds, 3);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn auc_bounded_and_flip_symmetric(scores in prop::collection::vec(-10.0f64..10.0, 2..40), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<usize> = scores.iter().map(|_| rng.gen_range(0..2)).collect();
+        let auc = metrics::auc(&labels, &scores);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating the scores reflects the AUC around 0.5 (when both
+        // classes are present).
+        let n_pos = labels.iter().filter(|&&y| y == 1).count();
+        if n_pos > 0 && n_pos < labels.len() {
+            let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+            let flipped = metrics::auc(&labels, &neg);
+            prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mi_nonnegative_and_symmetric(a in prop::collection::vec(-5.0f64..5.0, 10..60), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let b: Vec<f64> = a.iter().map(|_| rng.gen::<f64>()).collect();
+        let ab = mi::mi_continuous(&a, &b, 6);
+        let ba = mi::mi_continuous(&b, &a, 6);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bins_in_range(values in prop::collection::vec(-100.0f64..100.0, 1..80), n_bins in 1usize..20) {
+        let bins = mi::quantile_bins(&values, n_bins);
+        prop_assert_eq!(bins.len(), values.len());
+        prop_assert!(bins.iter().all(|&b| b < n_bins));
+        // Equal values always share a bin.
+        for (i, vi) in values.iter().enumerate() {
+            for (j, vj) in values.iter().enumerate() {
+                if vi == vj {
+                    prop_assert_eq!(bins[i], bins[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_display_round_trip(e in arb_expr(6, 5)) {
+        let text = e.to_string();
+        let back = fastft_core::parse_expr(&text).expect("display output parses");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn ops_total_on_arbitrary_finite_scalars(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+        for op in Op::unary() {
+            prop_assert!(op.apply_unary_scalar(x).is_finite(), "{op:?}({x})");
+        }
+        for op in Op::binary() {
+            prop_assert!(op.apply_binary_scalar(x, y).is_finite(), "{op:?}({x},{y})");
+        }
+    }
+
+    #[test]
+    fn orthogonal_init_is_orthogonal(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        use fastft_nn::init;
+        let gain = 2.5;
+        let m = init::orthogonal(&mut init::rng(seed), rows, cols, gain);
+        let k = rows.min(cols);
+        // Gram matrix of the smaller dimension is gain² I.
+        let gram = if rows <= cols { m.matmul_nt(&m) } else { m.matmul_tn(&m) };
+        for i in 0..k {
+            for j in 0..k {
+                let expect = if i == j { gain * gain } else { 0.0 };
+                prop_assert!((gram[(i, j)] - expect).abs() < 1e-6, "gram[{i}][{j}]={}", gram[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_always_partitions(n in 4usize..120, k in 2usize..6, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let kf = fastft_tabular::KFold::new(n, k, seed);
+        let mut all: Vec<usize> = kf.iter().flat_map(|(_, t)| t).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        for (train, test) in kf.iter() {
+            prop_assert_eq!(train.len() + test.len(), n);
+        }
+    }
+
+    #[test]
+    fn exp_decay_bounded_monotone(start in 0.01f64..1.0, end in 0.0001f64..0.01, m in 10.0f64..5000.0) {
+        let s = fastft_rl::ExpDecay { start, end, m };
+        let mut prev = f64::MAX;
+        for i in (0..10_000).step_by(500) {
+            let v = s.at(i);
+            prop_assert!(v <= prev + 1e-12);
+            prop_assert!(v <= start + 1e-12 && v >= end - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn describe_stats_ordered(values in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+        let d = fastft_tabular::stats::describe(&values);
+        // min <= q1 <= median <= q3 <= max, std >= 0.
+        prop_assert!(d[2] <= d[3] + 1e-9);
+        prop_assert!(d[3] <= d[4] + 1e-9);
+        prop_assert!(d[4] <= d[5] + 1e-9);
+        prop_assert!(d[5] <= d[6] + 1e-9);
+        prop_assert!(d[1] >= 0.0);
+        prop_assert!(d[0] >= d[2] - 1e-9 && d[0] <= d[6] + 1e-9);
+    }
+}
