@@ -2,10 +2,12 @@
 //! downstream feedback, in the style of the autofeat library — propose a
 //! candidate batch, keep it only when the evaluated score improves.
 
-use crate::common::{random_expr, try_add_expr, Budget, FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{
+    random_expr, try_add_expr, Budget, FeatureTransformMethod, RunContext, RunScope,
+    TransformOutcome,
+};
 use fastft_core::FeatureSet;
-use fastft_ml::Evaluator;
-use fastft_tabular::{rngx, Dataset};
+use fastft_tabular::{rngx, Dataset, FastFtResult};
 
 /// Iterative generate-and-select baseline.
 #[derive(Debug, Clone, Copy)]
@@ -27,13 +29,13 @@ impl FeatureTransformMethod for Aft {
         "AFT"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let cap = (((data.n_features() as f64) * self.max_features_factor) as usize).max(4);
         let mut fs = FeatureSet::from_original(data);
         let mut best_fs = fs.clone();
-        let mut best = scope.evaluate(evaluator, &fs.data);
+        let mut best = scope.evaluate(ctx, &fs.data)?;
         for _ in 0..self.budget.rounds {
             let snapshot = fs.clone();
             let mut added = 0;
@@ -47,7 +49,7 @@ impl FeatureTransformMethod for Aft {
                 continue;
             }
             fs.select_top(cap, 12);
-            let score = scope.evaluate(evaluator, &fs.data);
+            let score = scope.evaluate(ctx, &fs.data)?;
             if score > best {
                 best = score;
                 best_fs = fs.clone();
@@ -56,7 +58,7 @@ impl FeatureTransformMethod for Aft {
                 fs = snapshot;
             }
         }
-        scope.finish(self.name(), best_fs, best, 0.0)
+        Ok(scope.finish(self.name(), best_fs, best, 0.0))
     }
 }
 
@@ -67,13 +69,17 @@ mod tests {
 
     #[test]
     fn aft_never_returns_worse_than_base() {
+        use fastft_ml::Evaluator;
+        use fastft_runtime::Runtime;
         let spec = datagen::by_name("pima_indian").unwrap();
         let mut d = datagen::generate_capped(spec, 150, 0);
         d.sanitize();
         let ev = Evaluator { folds: 3, ..Evaluator::default() };
-        let base = ev.evaluate(&d);
+        let rt = Runtime::new(1);
+        let base = ev.evaluate(&d).unwrap();
         let r = Aft { budget: Budget { rounds: 3, per_round: 4 }, ..Aft::default() }
-            .run(&d, &ev, 1);
+            .run(&d, &RunContext::new(&ev, &rt, 1))
+            .unwrap();
         assert!(r.score >= base, "AFT {} < base {base}", r.score);
         assert!(r.downstream_evals >= 2);
     }

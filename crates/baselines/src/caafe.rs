@@ -14,11 +14,10 @@
 //!    on small datasets and amortises on large ones (Fig. 10's CAAFE
 //!    curve). The latency is *reported*, not slept.
 
-use crate::common::{try_add_expr, FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{try_add_expr, FeatureTransformMethod, RunContext, RunScope, TransformOutcome};
 use fastft_core::{Expr, FeatureSet, Op};
-use fastft_ml::Evaluator;
-use fastft_tabular::{rngx, Dataset};
-use rand::Rng;
+use fastft_tabular::rngx::{self, StdRng};
+use fastft_tabular::{Dataset, FastFtResult};
 
 /// Context-aware automated feature engineering, simulated.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +44,7 @@ impl Default for CaafeSim {
 }
 
 /// One semantic-template proposal over base features.
-fn propose(d: usize, rng: &mut rand::rngs::StdRng) -> Expr {
+fn propose(d: usize, rng: &mut StdRng) -> Expr {
     let a = rng.gen_range(0..d);
     let mut b = rng.gen_range(0..d);
     if b == a {
@@ -76,13 +75,13 @@ impl FeatureTransformMethod for CaafeSim {
         "CAAFE"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let d = data.n_features();
         let cap = (((d as f64) * self.max_features_factor) as usize).max(4);
         let mut fs = FeatureSet::from_original(data);
-        let mut best = scope.evaluate(evaluator, &fs.data);
+        let mut best = scope.evaluate(ctx, &fs.data)?;
         let mut latency = 0.0;
         for _ in 0..self.calls {
             latency += self.latency_per_call_secs;
@@ -93,14 +92,14 @@ impl FeatureTransformMethod for CaafeSim {
             }
             fs.select_top(cap, 12);
             // CAAFE keeps a proposal batch only when validation improves.
-            let score = scope.evaluate(evaluator, &fs.data);
+            let score = scope.evaluate(ctx, &fs.data)?;
             if score > best {
                 best = score;
             } else {
                 fs = snapshot;
             }
         }
-        scope.finish(self.name(), fs, best, latency)
+        Ok(scope.finish(self.name(), fs, best, latency))
     }
 }
 
@@ -114,11 +113,12 @@ mod tests {
         let spec = datagen::by_name("pima_indian").unwrap();
         let mut d = datagen::generate_capped(spec, 150, 0);
         d.sanitize();
-        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let ev = fastft_ml::Evaluator { folds: 3, ..fastft_ml::Evaluator::default() };
+        let rt = fastft_runtime::Runtime::new(1);
         let cfg = CaafeSim { calls: 3, latency_per_call_secs: 8.0, ..CaafeSim::default() };
-        let r = cfg.run(&d, &ev, 1);
+        let r = cfg.run(&d, &RunContext::new(&ev, &rt, 1)).unwrap();
         assert_eq!(r.simulated_latency_secs, 24.0);
-        assert!(r.score >= ev.evaluate(&d) - 1e-9);
+        assert!(r.score >= ev.evaluate(&d).unwrap() - 1e-9);
     }
 
     #[test]

@@ -2,24 +2,45 @@
 
 use fastft_core::{Expr, FeatureSet, Op};
 use fastft_ml::Evaluator;
-use fastft_tabular::Dataset;
-use rand::rngs::StdRng;
-use rand::Rng;
+use fastft_runtime::Runtime;
+use fastft_tabular::rngx::StdRng;
+use fastft_tabular::{Dataset, FastFtResult};
 use std::time::Instant;
 
-/// Outcome of one baseline run.
+/// Everything a method needs to run: the downstream evaluator, the worker
+/// pool its cross-validation folds (and any internal fan-out) execute on,
+/// and the seed of the run. Built once per harness sweep and shared across
+/// methods so results are comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct RunContext<'a> {
+    /// Downstream evaluator shared by every method in a sweep.
+    pub evaluator: &'a Evaluator,
+    /// Worker pool for CV folds and per-tree parallelism.
+    pub runtime: &'a Runtime,
+    /// Run seed (methods derive their private RNG streams from it).
+    pub seed: u64,
+}
+
+impl<'a> RunContext<'a> {
+    /// Bundle an evaluator, runtime and seed.
+    pub fn new(evaluator: &'a Evaluator, runtime: &'a Runtime, seed: u64) -> Self {
+        RunContext { evaluator, runtime, seed }
+    }
+}
+
+/// Unified outcome of one transformation run — identical shape for every
+/// baseline and for FASTFT itself, so Table I/Fig. 9/Fig. 10 harnesses
+/// consume one struct.
 #[derive(Debug, Clone)]
-pub struct MethodResult {
+pub struct TransformOutcome {
     /// Method name (Table I column header).
     pub name: &'static str,
-    /// Final transformed dataset.
-    pub dataset: Dataset,
-    /// Traceable expressions of the final feature set.
-    pub exprs: Vec<Expr>,
+    /// Final feature set: transformed dataset plus traceable expressions.
+    pub feature_set: FeatureSet,
     /// Downstream CV score of the final feature set.
     pub score: f64,
     /// Measured wall-clock seconds.
-    pub elapsed_secs: f64,
+    pub wall_time_secs: f64,
     /// Simulated external latency (CAAFE's LLM round-trips); reported
     /// separately so harnesses can include it in total runtime.
     pub simulated_latency_secs: f64,
@@ -27,13 +48,36 @@ pub struct MethodResult {
     pub downstream_evals: usize,
 }
 
-/// A feature-transformation baseline.
-pub trait FeatureTransformMethod {
+impl TransformOutcome {
+    /// The transformed dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.feature_set.data
+    }
+
+    /// Traceable expressions of the final feature set.
+    pub fn exprs(&self) -> &[Expr] {
+        &self.feature_set.exprs
+    }
+
+    /// Wall-clock plus simulated external latency (Fig. 9/10 runtime).
+    pub fn total_time_secs(&self) -> f64 {
+        self.wall_time_secs + self.simulated_latency_secs
+    }
+}
+
+/// A feature-transformation baseline. `Send + Sync` so harnesses can fan
+/// method runs out across a [`Runtime`]'s workers.
+pub trait FeatureTransformMethod: Send + Sync {
     /// Table I column name.
     fn name(&self) -> &'static str;
 
-    /// Transform `data` and return the scored result.
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult;
+    /// Transform `data` under `ctx` and return the scored outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`fastft_tabular::FastFtError`] from downstream
+    /// evaluation (degenerate folds, datasets without features).
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome>;
 }
 
 /// Helper wrapping the measured sections every method shares.
@@ -49,26 +93,25 @@ impl RunScope {
         RunScope { start: Instant::now(), evals: 0 }
     }
 
-    /// Evaluate downstream, counting the call.
-    pub fn evaluate(&mut self, evaluator: &Evaluator, data: &Dataset) -> f64 {
+    /// Evaluate downstream on the context's runtime, counting the call.
+    pub fn evaluate(&mut self, ctx: &RunContext, data: &Dataset) -> FastFtResult<f64> {
         self.evals += 1;
-        evaluator.evaluate(data)
+        ctx.evaluator.evaluate_with(ctx.runtime, data)
     }
 
-    /// Finish, producing a [`MethodResult`].
+    /// Finish, producing a [`TransformOutcome`].
     pub fn finish(
         self,
         name: &'static str,
         fs: FeatureSet,
         score: f64,
         simulated_latency_secs: f64,
-    ) -> MethodResult {
-        MethodResult {
+    ) -> TransformOutcome {
+        TransformOutcome {
             name,
-            exprs: fs.exprs,
-            dataset: fs.data,
+            feature_set: fs,
             score,
-            elapsed_secs: self.start.elapsed().as_secs_f64(),
+            wall_time_secs: self.start.elapsed().as_secs_f64(),
             simulated_latency_secs,
             downstream_evals: self.evals,
         }

@@ -5,11 +5,12 @@
 //! it by MI-based selection, and evaluate the final set once — the cheap,
 //! unguided end of the paper's baseline spectrum.
 
-use crate::common::{random_expr, try_add_expr, Budget, FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{
+    random_expr, try_add_expr, Budget, FeatureTransformMethod, RunContext, RunScope,
+    TransformOutcome,
+};
 use fastft_core::{Expr, FeatureSet, Op};
-use fastft_ml::Evaluator;
-use fastft_tabular::{Dataset, rngx};
-use rand::Rng;
+use fastft_tabular::{rngx, Dataset, FastFtResult};
 
 /// RFG: randomly select candidate features and operations (§V baseline 1).
 #[derive(Debug, Clone, Copy)]
@@ -31,9 +32,9 @@ impl FeatureTransformMethod for Rfg {
         "RFG"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let mut fs = FeatureSet::from_original(data);
         let n_candidates = self.budget.rounds * self.budget.per_round;
         for _ in 0..n_candidates {
@@ -42,8 +43,8 @@ impl FeatureTransformMethod for Rfg {
         }
         let cap = ((data.n_features() as f64) * self.max_features_factor) as usize;
         fs.select_top(cap.max(4), 12);
-        let score = scope.evaluate(evaluator, &fs.data);
-        scope.finish(self.name(), fs, score, 0.0)
+        let score = scope.evaluate(ctx, &fs.data)?;
+        Ok(scope.finish(self.name(), fs, score, 0.0))
     }
 }
 
@@ -69,9 +70,9 @@ impl FeatureTransformMethod for Erg {
         "ERG"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let mut fs = FeatureSet::from_original(data);
         let d = data.n_features();
         // Full unary expansion over all original features.
@@ -90,14 +91,16 @@ impl FeatureTransformMethod for Erg {
         }
         let cap = ((d as f64) * self.max_features_factor) as usize;
         fs.select_top(cap.max(4), 12);
-        let score = scope.evaluate(evaluator, &fs.data);
-        scope.finish(self.name(), fs, score, 0.0)
+        let score = scope.evaluate(ctx, &fs.data)?;
+        Ok(scope.finish(self.name(), fs, score, 0.0))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastft_ml::Evaluator;
+    use fastft_runtime::Runtime;
     use fastft_tabular::datagen;
 
     fn data() -> Dataset {
@@ -110,29 +113,34 @@ mod tests {
     #[test]
     fn rfg_produces_scored_result() {
         let d = data();
-        let r = Rfg::default().run(&d, &Evaluator { folds: 3, ..Evaluator::default() }, 1);
+        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let rt = Runtime::new(1);
+        let r = Rfg::default().run(&d, &RunContext::new(&ev, &rt, 1)).unwrap();
         assert_eq!(r.name, "RFG");
         assert!((0.0..=1.0).contains(&r.score));
-        assert!(r.dataset.n_features() >= 4);
-        assert_eq!(r.dataset.n_features(), r.exprs.len());
+        assert!(r.dataset().n_features() >= 4);
+        assert_eq!(r.dataset().n_features(), r.exprs().len());
         assert_eq!(r.downstream_evals, 1);
     }
 
     #[test]
     fn erg_expands_then_reduces() {
         let d = data();
-        let r = Erg::default().run(&d, &Evaluator { folds: 3, ..Evaluator::default() }, 2);
+        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let rt = Runtime::new(1);
+        let r = Erg::default().run(&d, &RunContext::new(&ev, &rt, 2)).unwrap();
         // Cap = 2 × 8 original features.
-        assert!(r.dataset.n_features() <= 16);
-        assert!(r.exprs.iter().any(|e| !e.is_base()), "no generated features survived");
+        assert!(r.dataset().n_features() <= 16);
+        assert!(r.exprs().iter().any(|e| !e.is_base()), "no generated features survived");
     }
 
     #[test]
     fn deterministic_given_seed() {
         let d = data();
-        let e = Evaluator { folds: 3, ..Evaluator::default() };
-        let a = Rfg::default().run(&d, &e, 7);
-        let b = Rfg::default().run(&d, &e, 7);
+        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let rt = Runtime::new(1);
+        let a = Rfg::default().run(&d, &RunContext::new(&ev, &rt, 7)).unwrap();
+        let b = Rfg::default().run(&d, &RunContext::new(&ev, &rt, 7)).unwrap();
         assert_eq!(a.score, b.score);
     }
 }

@@ -1,10 +1,9 @@
 //! FASTFT itself wrapped in the baseline interface, so harnesses can sweep
 //! every method — including ours — through one registry.
 
-use crate::common::{FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{FeatureTransformMethod, RunContext, RunScope, TransformOutcome};
 use fastft_core::{FastFt, FastFtConfig, FeatureSet};
-use fastft_ml::Evaluator;
-use fastft_tabular::Dataset;
+use fastft_tabular::{Dataset, FastFtResult};
 
 /// The full FASTFT framework as a [`FeatureTransformMethod`].
 #[derive(Debug, Clone)]
@@ -25,16 +24,21 @@ impl FeatureTransformMethod for FastFtMethod {
         "FASTFT"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let scope = RunScope::start();
-        let cfg = FastFtConfig { evaluator: *evaluator, seed, ..self.cfg.clone() };
-        let result = FastFt::new(cfg).fit(data);
+        let cfg = FastFtConfig {
+            evaluator: *ctx.evaluator,
+            seed: ctx.seed,
+            threads: ctx.runtime.threads(),
+            ..self.cfg.clone()
+        };
+        let result = FastFt::new(cfg).fit(data)?;
         let mut fs = FeatureSet::from_original(data);
         fs.data = result.best_dataset;
         fs.exprs = result.best_exprs;
         let mut out = scope.finish(self.name(), fs, result.best_score, 0.0);
         out.downstream_evals = result.telemetry.downstream_evals;
-        out
+        Ok(out)
     }
 }
 
@@ -46,10 +50,12 @@ mod tests {
 
     #[test]
     fn fastft_method_runs() {
+        use fastft_ml::Evaluator;
         let spec = datagen::by_name("pima_indian").unwrap();
         let mut d = datagen::generate_capped(spec, 120, 0);
         d.sanitize();
         let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let rt = fastft_runtime::Runtime::new(1);
         let m = FastFtMethod {
             cfg: FastFtConfig {
                 episodes: 3,
@@ -58,8 +64,8 @@ mod tests {
                 ..FastFtConfig::quick()
             },
         };
-        let r = m.run(&d, &ev, 0);
+        let r = m.run(&d, &RunContext::new(&ev, &rt, 0)).unwrap();
         assert_eq!(r.name, "FASTFT");
-        assert!(r.score >= ev.evaluate(&d) - 1e-9);
+        assert!(r.score >= ev.evaluate(&d).unwrap() - 1e-9);
     }
 }

@@ -8,10 +8,10 @@
 //! why it underperforms in Table I: the projection discards the non-linear
 //! structure feature crossing would surface.
 
-use crate::common::{FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{FeatureTransformMethod, RunContext, RunScope, TransformOutcome};
 use fastft_core::FeatureSet;
 use fastft_ml::preprocess::Standardizer;
-use fastft_tabular::{Column, Dataset};
+use fastft_tabular::{Column, Dataset, FastFtResult};
 
 /// LDA / PCA projection baseline.
 #[derive(Debug, Clone, Copy)]
@@ -32,14 +32,13 @@ impl FeatureTransformMethod for Lda {
         "LDA"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
-        let _ = seed; // deterministic projection
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
+        // Deterministic projection: the context seed is unused.
         let mut scope = RunScope::start();
         let d = data.n_features();
         let n = data.n_rows();
-        let scaler = Standardizer::fit(
-            &data.features.iter().map(|c| c.values.clone()).collect::<Vec<_>>(),
-        );
+        let scaler =
+            Standardizer::fit(&data.features.iter().map(|c| c.values.clone()).collect::<Vec<_>>());
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let mut r = data.row(i);
@@ -57,26 +56,22 @@ impl FeatureTransformMethod for Lda {
             .iter()
             .enumerate()
             .map(|(j, w)| {
-                let values = rows
-                    .iter()
-                    .map(|r| r.iter().zip(w).map(|(a, b)| a * b).sum())
-                    .collect();
+                let values =
+                    rows.iter().map(|r| r.iter().zip(w).map(|(a, b)| a * b).sum()).collect();
                 Column::new(format!("lda{j}"), values)
             })
             .collect();
-        let projected = data.with_features(columns).expect("consistent projection");
-        let score = scope.evaluate(evaluator, &projected);
+        let projected = data.with_features(columns)?;
+        let score = scope.evaluate(ctx, &projected)?;
         // The projection has no feature-expression representation; report
         // the original base expressions of the surviving dimensionality.
         let mut fs = FeatureSet::from_original(data);
         fs.data = projected;
         fs.exprs.truncate(fs.data.n_features());
         fs.exprs = fs.exprs.into_iter().take(fs.data.n_features()).collect();
-        scope.finish(self.name(), fs, score, 0.0)
+        Ok(scope.finish(self.name(), fs, score, 0.0))
     }
 }
-
-use fastft_ml::Evaluator;
 
 /// Class-mean discriminant directions, Gram–Schmidt orthogonalised.
 fn discriminant_directions(
@@ -100,12 +95,13 @@ fn discriminant_directions(
         }
     }
     let global: Vec<f64> = (0..d)
-        .map(|j| means.iter().zip(&counts).map(|(m, &c)| m[j] * c as f64).sum::<f64>() / rows.len() as f64)
+        .map(|j| {
+            means.iter().zip(&counts).map(|(m, &c)| m[j] * c as f64).sum::<f64>()
+                / rows.len() as f64
+        })
         .collect();
-    let mut dirs: Vec<Vec<f64>> = means
-        .iter()
-        .map(|m| m.iter().zip(&global).map(|(a, b)| a - b).collect())
-        .collect();
+    let mut dirs: Vec<Vec<f64>> =
+        means.iter().map(|m| m.iter().zip(&global).map(|(a, b)| a - b).collect()).collect();
     orthonormalise(&mut dirs);
     dirs.truncate(k.max(1));
     if dirs.is_empty() {
@@ -194,29 +190,34 @@ mod tests {
 
     #[test]
     fn lda_runs_on_classification() {
+        use fastft_ml::Evaluator;
         let spec = datagen::by_name("pima_indian").unwrap();
         let mut d = datagen::generate_capped(spec, 150, 0);
         d.sanitize();
-        let r = Lda::default().run(&d, &Evaluator { folds: 3, ..Evaluator::default() }, 0);
+        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let rt = fastft_runtime::Runtime::new(1);
+        let r = Lda::default().run(&d, &RunContext::new(&ev, &rt, 0)).unwrap();
         assert!((0.0..=1.0).contains(&r.score));
-        assert!(r.dataset.n_features() <= 8);
+        assert!(r.dataset().n_features() <= 8);
     }
 
     #[test]
     fn lda_runs_on_regression_via_pca() {
+        use fastft_ml::Evaluator;
         let spec = datagen::by_name("openml_620").unwrap();
         let mut d = datagen::generate_capped(spec, 150, 1);
         d.sanitize();
-        let r = Lda { k: 5 }.run(&d, &Evaluator { folds: 3, ..Evaluator::default() }, 0);
-        assert_eq!(r.dataset.n_features(), 5);
+        let ev = Evaluator { folds: 3, ..Evaluator::default() };
+        let rt = fastft_runtime::Runtime::new(1);
+        let r = Lda { k: 5 }.run(&d, &RunContext::new(&ev, &rt, 0)).unwrap();
+        assert_eq!(r.dataset().n_features(), 5);
         assert!(r.score.is_finite());
     }
 
     #[test]
     fn pca_directions_are_orthonormal() {
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i as f64).sin(), (i as f64).cos(), i as f64 / 50.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i as f64).sin(), (i as f64).cos(), i as f64 / 50.0]).collect();
         let dirs = pca_directions(&rows, 2);
         for (i, a) in dirs.iter().enumerate() {
             let na: f64 = a.iter().map(|x| x * x).sum();

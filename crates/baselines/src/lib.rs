@@ -29,7 +29,7 @@ pub mod nfs;
 pub mod openfe;
 pub mod ttg;
 
-pub use common::{Budget, FeatureTransformMethod, MethodResult};
+pub use common::{Budget, FeatureTransformMethod, RunContext, TransformOutcome};
 
 /// The ten baselines of Table I, in column order.
 pub fn standard_methods() -> Vec<Box<dyn FeatureTransformMethod>> {
@@ -63,7 +63,10 @@ mod tests {
         let names: Vec<&str> = all_methods().iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["RFG", "ERG", "LDA", "AFT", "NFS", "TTG", "DIFER", "OpenFE", "CAAFE", "GRFG", "FASTFT"]
+            vec![
+                "RFG", "ERG", "LDA", "AFT", "NFS", "TTG", "DIFER", "OpenFE", "CAAFE", "GRFG",
+                "FASTFT"
+            ]
         );
     }
 }

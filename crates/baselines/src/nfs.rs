@@ -8,11 +8,10 @@
 //! candidate-scoring [`Actor`]) conditioned on a slot-position encoding.
 //! Reward is the downstream improvement of the completed program.
 
-use crate::common::{try_add_expr, FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{try_add_expr, FeatureTransformMethod, RunContext, RunScope, TransformOutcome};
 use fastft_core::{Expr, FeatureSet, Op};
-use fastft_ml::Evaluator;
 use fastft_rl::actor_critic::Actor;
-use fastft_tabular::{rngx, Dataset};
+use fastft_tabular::{rngx, Dataset, FastFtResult};
 
 /// RNN-controller-style neural feature search.
 #[derive(Debug, Clone, Copy)]
@@ -46,19 +45,19 @@ impl FeatureTransformMethod for Nfs {
         "NFS"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let d = data.n_features();
         let cap = (((d as f64) * self.max_features_factor) as usize).max(4);
         let n_slots = self.n_transforms;
         let feat_dim = n_slots + d;
         let op_dim = n_slots + Op::COUNT;
-        let mut head_policy = Actor::new(feat_dim, 32, self.lr, seed);
-        let mut op_policy = Actor::new(op_dim, 32, self.lr, seed.wrapping_add(1));
-        let mut tail_policy = Actor::new(feat_dim, 32, self.lr, seed.wrapping_add(2));
+        let mut head_policy = Actor::new(feat_dim, 32, self.lr, ctx.seed);
+        let mut op_policy = Actor::new(op_dim, 32, self.lr, ctx.seed.wrapping_add(1));
+        let mut tail_policy = Actor::new(feat_dim, 32, self.lr, ctx.seed.wrapping_add(2));
 
-        let base = scope.evaluate(evaluator, data);
+        let base = scope.evaluate(ctx, data)?;
         let mut best = (base, FeatureSet::from_original(data));
         let mut baseline = 0.0; // running reward baseline
 
@@ -69,9 +68,8 @@ impl FeatureTransformMethod for Nfs {
                 let head_cands: Vec<Vec<f64>> =
                     (0..d).map(|i| slot_encoding(slot, n_slots, i, d)).collect();
                 let h = head_policy.select(&head_cands, &mut rng);
-                let op_cands: Vec<Vec<f64>> = (0..Op::COUNT)
-                    .map(|i| slot_encoding(slot, n_slots, i, Op::COUNT))
-                    .collect();
+                let op_cands: Vec<Vec<f64>> =
+                    (0..Op::COUNT).map(|i| slot_encoding(slot, n_slots, i, Op::COUNT)).collect();
                 let o = op_policy.select(&op_cands, &mut rng);
                 let op = Op::ALL[o];
                 let t = if op.is_binary() {
@@ -91,7 +89,7 @@ impl FeatureTransformMethod for Nfs {
                 decisions.push((head_cands, h, op_cands, o, t));
             }
             fs.select_top(cap, 12);
-            let score = scope.evaluate(evaluator, &fs.data);
+            let score = scope.evaluate(ctx, &fs.data)?;
             let reward = score - base;
             let advantage = reward - baseline;
             baseline = 0.8 * baseline + 0.2 * reward;
@@ -106,7 +104,7 @@ impl FeatureTransformMethod for Nfs {
                 best = (score, fs);
             }
         }
-        scope.finish(self.name(), best.1, best.0, 0.0)
+        Ok(scope.finish(self.name(), best.1, best.0, 0.0))
     }
 }
 
@@ -120,9 +118,11 @@ mod tests {
         let spec = datagen::by_name("pima_indian").unwrap();
         let mut d = datagen::generate_capped(spec, 150, 0);
         d.sanitize();
-        let ev = Evaluator { folds: 3, ..Evaluator::default() };
-        let base = ev.evaluate(&d);
-        let r = Nfs { episodes: 3, ..Nfs::default() }.run(&d, &ev, 1);
+        let ev = fastft_ml::Evaluator { folds: 3, ..fastft_ml::Evaluator::default() };
+        let rt = fastft_runtime::Runtime::new(1);
+        let base = ev.evaluate(&d).unwrap();
+        let r =
+            Nfs { episodes: 3, ..Nfs::default() }.run(&d, &RunContext::new(&ev, &rt, 1)).unwrap();
         assert!(r.score >= base);
         assert_eq!(r.downstream_evals, 4); // base + 3 programs
     }

@@ -14,10 +14,9 @@
 //! of the full dataset, OpenFE's runtime grows with both `d²` and `n` —
 //! the scalability bottleneck the paper's Fig. 10 demonstrates.
 
-use crate::common::{FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{FeatureTransformMethod, RunContext, RunScope, TransformOutcome};
 use fastft_core::{Expr, FeatureSet, Op};
-use fastft_ml::Evaluator;
-use fastft_tabular::{mi, rngx, Dataset};
+use fastft_tabular::{mi, rngx, Dataset, FastFtResult};
 
 /// Feature boosting + two-stage pruning.
 #[derive(Debug, Clone, Copy)]
@@ -52,9 +51,9 @@ impl FeatureTransformMethod for OpenFe {
         "OpenFE"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let d = data.n_features();
         let n = data.n_rows();
         let cap = (((d as f64) * self.max_features_factor) as usize).max(4);
@@ -82,7 +81,6 @@ impl FeatureTransformMethod for OpenFe {
         }
         if candidates.len() > self.pool_cap {
             // Random subsample beyond the cap (partial Fisher–Yates).
-            use rand::Rng;
             for i in 0..self.pool_cap {
                 let j = rng.gen_range(i..candidates.len());
                 candidates.swap(i, j);
@@ -104,10 +102,8 @@ impl FeatureTransformMethod for OpenFe {
                     // expression itself is computed over those rows of the
                     // full columns, which is what makes stage 1 scale with n
                     // as the rounds progress.
-                    let sub_base: Vec<Vec<f64>> = base_cols
-                        .iter()
-                        .map(|c| sub.iter().map(|&i| c[i]).collect())
-                        .collect();
+                    let sub_base: Vec<Vec<f64>> =
+                        base_cols.iter().map(|c| sub.iter().map(|&i| c[i]).collect()).collect();
                     let mut col = e.eval(&sub_base);
                     fastft_core::transform::sanitize_column(&mut col);
                     let gain = mi::mi_feature_target(&col, &sub_targets, discrete, 10);
@@ -127,27 +123,29 @@ impl FeatureTransformMethod for OpenFe {
 
         // --- stage 2: grouped downstream evaluation ---------------------
         let mut fs = fs;
-        let mut best = scope.evaluate(evaluator, &fs.data);
+        let mut best = scope.evaluate(ctx, &fs.data)?;
         for group in pool.chunks(self.group_size) {
             let snapshot = fs.clone();
             for e in group {
                 crate::common::try_add_expr(&mut fs, e.clone());
             }
             fs.select_top(cap, 12);
-            let score = scope.evaluate(evaluator, &fs.data);
+            let score = scope.evaluate(ctx, &fs.data)?;
             if score > best {
                 best = score;
             } else {
                 fs = snapshot;
             }
         }
-        scope.finish(self.name(), fs, best, 0.0)
+        Ok(scope.finish(self.name(), fs, best, 0.0))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastft_ml::Evaluator;
+    use fastft_runtime::Runtime;
     use fastft_tabular::datagen;
 
     #[test]
@@ -156,12 +154,15 @@ mod tests {
         let mut d = datagen::generate_capped(spec, 200, 0);
         d.sanitize();
         let ev = Evaluator { folds: 3, ..Evaluator::default() };
-        let base = ev.evaluate(&d);
-        let r = OpenFe { stage2_survivors: 6, ..OpenFe::default() }.run(&d, &ev, 1);
+        let rt = Runtime::new(1);
+        let base = ev.evaluate(&d).unwrap();
+        let r = OpenFe { stage2_survivors: 6, ..OpenFe::default() }
+            .run(&d, &RunContext::new(&ev, &rt, 1))
+            .unwrap();
         assert!(r.score >= base);
         // base + one per stage-2 group (6 survivors / group 2 = 3 groups).
         assert_eq!(r.downstream_evals, 4);
-        assert!(r.dataset.n_features() <= 16);
+        assert!(r.dataset().n_features() <= 16);
     }
 
     #[test]
@@ -173,9 +174,10 @@ mod tests {
         let mut d = datagen::generate_capped(spec, 300, 2);
         d.sanitize();
         let ev = Evaluator { folds: 3, ..Evaluator::default() };
-        let r = OpenFe::default().run(&d, &ev, 3);
+        let rt = Runtime::new(1);
+        let r = OpenFe::default().run(&d, &RunContext::new(&ev, &rt, 3)).unwrap();
         assert!(r.score.is_finite());
-        assert!(r.elapsed_secs > 0.0);
+        assert!(r.wall_time_secs > 0.0);
     }
 
     #[test]
@@ -186,9 +188,10 @@ mod tests {
         let mut d = datagen::generate_capped(spec, 300, 4);
         d.sanitize();
         let ev = Evaluator { folds: 3, ..Evaluator::default() };
-        let r = OpenFe::default().run(&d, &ev, 5);
+        let rt = Runtime::new(1);
+        let r = OpenFe::default().run(&d, &RunContext::new(&ev, &rt, 5)).unwrap();
         // Either some crossing was kept, or every group was rejected — both
         // are legal outcomes; the score must never drop below base.
-        assert!(r.score >= ev.evaluate(&d) - 1e-12);
+        assert!(r.score >= ev.evaluate(&d).unwrap() - 1e-12);
     }
 }

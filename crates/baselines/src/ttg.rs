@@ -3,11 +3,10 @@
 //! operation set-wide, and a best-first search with an evaluation budget
 //! walks the graph.
 
-use crate::common::{FeatureTransformMethod, MethodResult, RunScope};
+use crate::common::{FeatureTransformMethod, RunContext, RunScope, TransformOutcome};
 use fastft_core::{Expr, FeatureSet, Op};
-use fastft_ml::Evaluator;
-use fastft_tabular::{rngx, Dataset};
-use rand::Rng;
+use fastft_tabular::rngx::{self, StdRng};
+use fastft_tabular::{Dataset, FastFtResult};
 
 /// Transformation-graph search baseline.
 #[derive(Debug, Clone, Copy)]
@@ -31,12 +30,12 @@ impl FeatureTransformMethod for Ttg {
         "TTG"
     }
 
-    fn run(&self, data: &Dataset, evaluator: &Evaluator, seed: u64) -> MethodResult {
+    fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let mut scope = RunScope::start();
-        let mut rng = rngx::rng(seed);
+        let mut rng = rngx::rng(ctx.seed);
         let cap = (((data.n_features() as f64) * self.max_features_factor) as usize).max(4);
         let root = FeatureSet::from_original(data);
-        let root_score = scope.evaluate(evaluator, &root.data);
+        let root_score = scope.evaluate(ctx, &root.data)?;
         // Frontier of (score, node), best-first.
         let mut frontier = vec![(root_score, root.clone())];
         let mut best = (root_score, root);
@@ -49,20 +48,20 @@ impl FeatureTransformMethod for Ttg {
                 let mut child = node.clone();
                 apply_setwide(&mut child, op, &mut rng);
                 child.select_top(cap, 12);
-                let score = scope.evaluate(evaluator, &child.data);
+                let score = scope.evaluate(ctx, &child.data)?;
                 if score > best.0 {
                     best = (score, child.clone());
                 }
                 frontier.push((score, child));
             }
         }
-        scope.finish(self.name(), best.1, best.0, 0.0)
+        Ok(scope.finish(self.name(), best.1, best.0, 0.0))
     }
 }
 
 /// Apply an op across the node's whole feature set: unary over every
 /// feature, binary over a shifted pairing of the features.
-fn apply_setwide(fs: &mut FeatureSet, op: Op, rng: &mut rand::rngs::StdRng) {
+fn apply_setwide(fs: &mut FeatureSet, op: Op, rng: &mut StdRng) {
     let exprs: Vec<Expr> = fs.exprs.clone();
     let n = exprs.len();
     let mut new = Vec::new();
@@ -91,12 +90,15 @@ mod tests {
         let spec = datagen::by_name("pima_indian").unwrap();
         let mut d = datagen::generate_capped(spec, 150, 0);
         d.sanitize();
-        let ev = Evaluator { folds: 3, ..Evaluator::default() };
-        let base = ev.evaluate(&d);
-        let r = Ttg { expansions: 2, ops_per_expansion: 2, ..Ttg::default() }.run(&d, &ev, 1);
+        let ev = fastft_ml::Evaluator { folds: 3, ..fastft_ml::Evaluator::default() };
+        let rt = fastft_runtime::Runtime::new(1);
+        let base = ev.evaluate(&d).unwrap();
+        let r = Ttg { expansions: 2, ops_per_expansion: 2, ..Ttg::default() }
+            .run(&d, &RunContext::new(&ev, &rt, 1))
+            .unwrap();
         assert!(r.score >= base);
         assert!(r.downstream_evals >= 3); // root + children
-        assert!(r.dataset.n_features() <= 16);
+        assert!(r.dataset().n_features() <= 16);
     }
 
     #[test]

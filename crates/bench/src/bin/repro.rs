@@ -17,11 +17,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let full = args.iter().any(|a| a == "--full");
     let scale = Scale::from_flags(quick, full);
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if ids.is_empty() || ids.contains(&"help") {
         eprintln!("usage: repro <experiment>... [--quick|--full]");
@@ -36,11 +32,7 @@ fn main() {
         return;
     }
 
-    let to_run: Vec<&str> = if ids.contains(&"all") {
-        experiments::ALL.to_vec()
-    } else {
-        ids
-    };
+    let to_run: Vec<&str> = if ids.contains(&"all") { experiments::ALL.to_vec() } else { ids };
     eprintln!("scale: {scale:?}");
     for id in to_run {
         let t0 = std::time::Instant::now();

@@ -4,16 +4,16 @@
 
 use crate::report::Table;
 use crate::Scale;
-use fastft_baselines::{expansion::Rfg, FeatureTransformMethod};
+use fastft_baselines::{expansion::Rfg, FeatureTransformMethod, RunContext};
 use fastft_core::FastFt;
+use fastft_runtime::Runtime;
 use fastft_tabular::noise;
 
 /// Run the noise-robustness extension.
 pub fn run(scale: Scale) {
+    let rt = Runtime::from_env();
     let evaluator = scale.evaluator();
-    let mut table = Table::new([
-        "Corruption", "Base", "RFG", "FASTFT", "FASTFT gain",
-    ]);
+    let mut table = Table::new(["Corruption", "Base", "RFG", "FASTFT", "FASTFT gain"]);
     let settings: [(&str, f64, f64); 4] = [
         ("clean", 0.0, 0.0),
         ("feature noise 0.2", 0.2, 0.0),
@@ -29,9 +29,10 @@ pub fn run(scale: Scale) {
             noise::flip_labels(&mut data, flip_frac, 2);
         }
         data.sanitize();
-        let base = evaluator.evaluate(&data);
-        let rfg = Rfg::default().run(&data, &evaluator, 0).score;
-        let fast = FastFt::new(scale.fastft_config(0)).fit(&data).best_score;
+        let base = evaluator.evaluate(&data).expect("base evaluation");
+        let ctx = RunContext::new(&evaluator, &rt, 0);
+        let rfg = Rfg::default().run(&data, &ctx).expect("RFG run").score;
+        let fast = FastFt::new(scale.fastft_config(0)).fit(&data).expect("FASTFT fit").best_score;
         table.row([
             label.to_string(),
             format!("{base:.3}"),

@@ -3,12 +3,17 @@
 
 use crate::report::Table;
 use crate::Scale;
-use fastft_baselines::{caafe::CaafeSim, fastft_method::FastFtMethod, openfe::OpenFe, FeatureTransformMethod};
+use fastft_baselines::{
+    caafe::CaafeSim, fastft_method::FastFtMethod, openfe::OpenFe, FeatureTransformMethod,
+    RunContext,
+};
+use fastft_runtime::Runtime;
 use fastft_tabular::datagen::{self, GenConfig};
 use fastft_tabular::{rngx, TaskType};
 
 /// Run the Fig. 10 reproduction.
 pub fn run(scale: Scale) {
+    let rt = Runtime::from_env();
     let sizes: Vec<(usize, usize)> = match scale {
         Scale::Quick => vec![(200, 8), (400, 10), (800, 12)],
         Scale::Standard => vec![(500, 10), (1000, 15), (2000, 20), (4000, 25)],
@@ -34,11 +39,14 @@ pub fn run(scale: Scale) {
         );
         data.sanitize();
         let mut cells = vec![format!("{rows}x{cols} = {}", rows * cols)];
-        for method in &methods {
-            let r = method.run(&data, &evaluator, 0);
-            cells.push(format!("{:.2}", r.elapsed_secs + r.simulated_latency_secs));
+        // Methods fan out across the pool; par_map keeps column order.
+        let times: Vec<String> = rt.par_map(methods.iter().collect::<Vec<_>>(), |method| {
+            let ctx = RunContext::new(&evaluator, &rt, 0);
+            let r = method.run(&data, &ctx).expect("fig10 method run");
             eprintln!("[fig10] {}x{} {} done", rows, cols, method.name());
-        }
+            format!("{:.2}", r.total_time_secs())
+        });
+        cells.extend(times);
         table.row(cells);
     }
     table.print("Fig. 10 — scalability: total runtime vs dataset size");

@@ -15,7 +15,8 @@ use fastft_core::FastFt;
 pub fn run(scale: Scale) {
     // (a) memory vs sequence length.
     let predictor = PerformancePredictor::new(64, PredictorConfig::default(), 0);
-    let mut table = Table::new(["Sequence length", "Params (KB)", "Activations (KB)", "Total (KB)"]);
+    let mut table =
+        Table::new(["Sequence length", "Params (KB)", "Activations (KB)", "Total (KB)"]);
     let param_kb = predictor.n_params() as f64 * 8.0 / 1024.0;
     for len in [8usize, 16, 32, 64, 128, 256, 512] {
         let total_kb = predictor.memory_bytes(len) as f64 / 1024.0;
@@ -33,8 +34,8 @@ pub fn run(scale: Scale) {
     let mut cfg = scale.fastft_config(0);
     cfg.episodes = cfg.episodes.clamp(4, 10);
     cfg.cold_start_episodes = cfg.cold_start_episodes.min(cfg.episodes / 2).max(1);
-    let with = FastFt::new(cfg.clone()).fit(&data);
-    let without = FastFt::new(cfg.without_predictor()).fit(&data);
+    let with = FastFt::new(cfg.clone()).fit(&data).expect("FASTFT fit");
+    let without = FastFt::new(cfg.without_predictor()).fit(&data).expect("FASTFT fit");
     let mem_kb = predictor.memory_bytes(192) as f64 / 1024.0 * 2.0; // predictor + RND pair
     let mut trade = Table::new(["Quantity", "Value"]);
     trade.row(["Extra component memory".into(), format!("{mem_kb:.1} KB")]);
@@ -51,7 +52,9 @@ pub fn run(scale: Scale) {
         format!(
             "{:.2}s ({:.1}%)",
             without.telemetry.evaluation_secs - with.telemetry.evaluation_secs,
-            100.0 * (1.0 - with.telemetry.evaluation_secs / without.telemetry.evaluation_secs.max(1e-9))
+            100.0
+                * (1.0
+                    - with.telemetry.evaluation_secs / without.telemetry.evaluation_secs.max(1e-9))
         ),
     ]);
     trade.print("Fig. 11b — memory/time trade-off (SVMGuide3)");

@@ -13,7 +13,7 @@ fn sweep(scale: Scale, label: &str, settings: &[(f64, f64)]) {
         Table::new(["alpha", "beta", "Evaluation time (s)", "Downstream evals", "Score"]);
     for &(alpha, beta) in settings {
         let cfg = FastFtConfig { alpha, beta, ..scale.fastft_config(0) };
-        let r = FastFt::new(cfg).fit(&data);
+        let r = FastFt::new(cfg).fit(&data).expect("FASTFT fit");
         table.row([
             format!("{alpha}"),
             format!("{beta}"),

@@ -8,12 +8,11 @@ use fastft_core::{FastFt, FastFtConfig};
 const DATASETS: [&str; 2] = ["pima_indian", "openml_620"];
 
 fn scores(cfg: &FastFtConfig, scale: Scale, name: &str) -> Vec<f64> {
-    (0..scale.seeds())
-        .map(|seed| {
-            let data = scale.load(name, seed);
-            FastFt::new(FastFtConfig { seed, ..cfg.clone() }).fit(&data).best_score
-        })
-        .collect()
+    let rt = fastft_runtime::Runtime::from_env();
+    rt.par_map((0..scale.seeds()).collect(), |seed| {
+        let data = scale.load(name, seed);
+        FastFt::new(FastFtConfig { seed, ..cfg.clone() }).fit(&data).expect("FASTFT fit").best_score
+    })
 }
 
 /// Run the Fig. 13 reproduction.
@@ -21,8 +20,7 @@ pub fn run(scale: Scale) {
     // (a) novelty weight (ε_s, ε_e)
     let weights = [(0.05, 0.001), (0.10, 0.005), (0.20, 0.01), (0.50, 0.05)];
     let mut table = Table::new(
-        std::iter::once("(eps_s, eps_e)".to_string())
-            .chain(DATASETS.iter().map(|d| d.to_string())),
+        std::iter::once("(eps_s, eps_e)".to_string()).chain(DATASETS.iter().map(|d| d.to_string())),
     );
     for (s, e) in weights {
         let mut cells = vec![format!("({s}, {e})")];

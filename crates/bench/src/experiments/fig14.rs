@@ -27,8 +27,9 @@ fn series(r: &RunResult) -> Vec<(usize, f64, usize, f64)> {
 /// Run the Fig. 14 reproduction.
 pub fn run(scale: Scale) {
     let data = scale.load("pima_indian", 0);
-    let full = FastFt::new(scale.fastft_config(0)).fit(&data);
-    let no_ne = FastFt::new(scale.fastft_config(0).without_novelty()).fit(&data);
+    let full = FastFt::new(scale.fastft_config(0)).fit(&data).expect("FASTFT fit");
+    let no_ne =
+        FastFt::new(scale.fastft_config(0).without_novelty()).fit(&data).expect("FASTFT fit");
     let a = series(&full);
     let b = series(&no_ne);
     let mut table = Table::new([

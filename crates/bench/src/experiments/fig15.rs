@@ -8,16 +8,12 @@ use fastft_core::FastFt;
 /// Run the Fig. 15 reproduction.
 pub fn run(scale: Scale) {
     let data = scale.load("cardiovascular", 0);
-    let r = FastFt::new(scale.fastft_config(0)).fit(&data);
+    let r = FastFt::new(scale.fastft_config(0)).fit(&data).expect("FASTFT fit");
     // Find the reward peaks: the top-5 steps by reward that added features.
-    let mut peaks: Vec<usize> = (0..r.records.len())
-        .filter(|&i| !r.records[i].new_exprs.is_empty())
-        .collect();
+    let mut peaks: Vec<usize> =
+        (0..r.records.len()).filter(|&i| !r.records[i].new_exprs.is_empty()).collect();
     peaks.sort_by(|&a, &b| {
-        r.records[b]
-            .reward
-            .partial_cmp(&r.records[a].reward)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        r.records[b].reward.partial_cmp(&r.records[a].reward).unwrap_or(std::cmp::Ordering::Equal)
     });
     peaks.truncate(5);
     peaks.sort_unstable();
@@ -29,12 +25,7 @@ pub fn run(scale: Scale) {
             format!("{}.{}", rec.episode, rec.step),
             format!("{:.4}", rec.reward),
             format!("{:.3}", rec.score),
-            rec.new_exprs
-                .iter()
-                .take(3)
-                .cloned()
-                .collect::<Vec<_>>()
-                .join(", "),
+            rec.new_exprs.iter().take(3).cloned().collect::<Vec<_>>().join(", "),
         ]);
     }
     table.print("Fig. 15 — features generated at reward peaks (Cardiovascular)");

@@ -8,12 +8,11 @@ use fastft_core::{FastFt, FastFtConfig};
 const DATASETS: [&str; 4] = ["pima_indian", "wine_quality_red", "openml_589", "thyroid"];
 
 fn score(cfg: FastFtConfig, scale: Scale, name: &str) -> Vec<f64> {
-    (0..scale.seeds())
-        .map(|seed| {
-            let data = scale.load(name, seed);
-            FastFt::new(FastFtConfig { seed, ..cfg.clone() }).fit(&data).best_score
-        })
-        .collect()
+    let rt = fastft_runtime::Runtime::from_env();
+    rt.par_map((0..scale.seeds()).collect(), |seed| {
+        let data = scale.load(name, seed);
+        FastFt::new(FastFtConfig { seed, ..cfg.clone() }).fit(&data).expect("FASTFT fit").best_score
+    })
 }
 
 /// Run the Fig. 6 reproduction.

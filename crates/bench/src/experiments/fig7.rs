@@ -17,7 +17,7 @@ pub fn run(scale: Scale) {
     let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
     for (label, rl) in frameworks {
         let cfg = FastFtConfig { rl, ..scale.fastft_config(0) };
-        let r = FastFt::new(cfg).fit(&data);
+        let r = FastFt::new(cfg).fit(&data).expect("FASTFT fit");
         eprintln!("[fig7] {label}: final best {:.3}", r.best_score);
         curves.push((label, r.episode_best));
     }

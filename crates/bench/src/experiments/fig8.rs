@@ -16,13 +16,12 @@ pub fn run(scale: Scale) {
         EncoderKind::Gru { layers: 2 },
         EncoderKind::Transformer { heads: 2, blocks: 1 },
     ];
-    let mut table =
-        Table::new(["Dataset", "Encoder", "Score", "Estimation time", "Overall time"]);
+    let mut table = Table::new(["Dataset", "Encoder", "Score", "Estimation time", "Overall time"]);
     for name in ["pima_indian", "openml_620"] {
         let data = scale.load(name, 0);
         for enc in encoders {
             let cfg = FastFtConfig { encoder: enc, ..scale.fastft_config(0) };
-            let r = FastFt::new(cfg).fit(&data);
+            let r = FastFt::new(cfg).fit(&data).expect("FASTFT fit");
             table.row([
                 name.to_string(),
                 enc.label().to_string(),

@@ -2,8 +2,17 @@
 
 use crate::Scale;
 use fastft_baselines::{
-    aft::Aft, caafe::CaafeSim, common::Budget, difer::Difer, expansion::{Erg, Rfg},
-    fastft_method::FastFtMethod, grfg::Grfg, lda::Lda, nfs::Nfs, openfe::OpenFe, ttg::Ttg,
+    aft::Aft,
+    caafe::CaafeSim,
+    common::Budget,
+    difer::Difer,
+    expansion::{Erg, Rfg},
+    fastft_method::FastFtMethod,
+    grfg::Grfg,
+    lda::Lda,
+    nfs::Nfs,
+    openfe::OpenFe,
+    ttg::Ttg,
     FeatureTransformMethod,
 };
 

@@ -22,8 +22,21 @@ use crate::Scale;
 
 /// All experiment ids in paper order.
 pub const ALL: [&str; 15] = [
-    "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "ext_noise",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ext_noise",
 ];
 
 /// Dispatch an experiment by id. Returns `false` for unknown ids.

@@ -6,11 +6,14 @@
 use super::methods::lineup;
 use crate::report::{fmt_mean_std, mean_std, Table};
 use crate::Scale;
+use fastft_baselines::RunContext;
+use fastft_runtime::Runtime;
 use fastft_tabular::datagen;
 use fastft_tabular::metrics::paired_t_test;
 
 /// Run the Table I reproduction.
 pub fn run(scale: Scale) {
+    let rt = Runtime::from_env();
     let datasets = scale.dataset_subset();
     let evaluator = scale.evaluator();
     let methods = lineup(scale);
@@ -28,12 +31,14 @@ pub fn run(scale: Scale) {
         let spec = datagen::by_name(name).expect("catalog dataset");
         let mut cells = vec![name.to_string(), spec.task.code().to_string()];
         for (mi, method) in methods.iter().enumerate() {
-            let mut scores = Vec::new();
-            for seed in 0..scale.seeds() {
+            // Per-seed fan-out: each seed is an independent work item (its
+            // own data draw and RNG streams), so the pool preserves the
+            // serial results exactly while seeds run concurrently.
+            let scores: Vec<f64> = rt.par_map((0..scale.seeds()).collect(), |seed| {
                 let data = scale.load(name, seed);
-                let r = method.run(&data, &evaluator, seed);
-                scores.push(r.score);
-            }
+                let ctx = RunContext::new(&evaluator, &rt, seed);
+                method.run(&data, &ctx).expect("table1 method run").score
+            });
             let (mean, _) = mean_std(&scores);
             per_method[mi].push(mean);
             cells.push(fmt_mean_std(&scores));

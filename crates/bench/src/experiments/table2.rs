@@ -7,7 +7,8 @@ use crate::Scale;
 use fastft_core::FastFt;
 use fastft_tabular::Dataset;
 
-const DATASETS: [&str; 4] = ["svmguide3", "wine_quality_white", "cardiovascular", "amazon_employee"];
+const DATASETS: [&str; 4] =
+    ["svmguide3", "wine_quality_white", "cardiovascular", "amazon_employee"];
 
 /// Table II is specifically about how the saving grows with dataset size,
 /// so the four datasets get size-proportional row caps rather than the
@@ -32,7 +33,13 @@ fn fmt_pct_saved(with: f64, without: f64) -> String {
 /// Run the Table II reproduction.
 pub fn run(scale: Scale) {
     let mut table = Table::new([
-        "Dataset", "Size", "Method", "Optimization", "Estimation", "Evaluation", "Overall",
+        "Dataset",
+        "Size",
+        "Method",
+        "Optimization",
+        "Estimation",
+        "Evaluation",
+        "Overall",
     ]);
     for (name, cap) in DATASETS.into_iter().zip(row_caps(scale)) {
         let spec = fastft_tabular::datagen::by_name(name).expect("catalog dataset");
@@ -47,8 +54,8 @@ pub fn run(scale: Scale) {
         cfg.cold_start_episodes = (episodes / 5).max(1);
         let per_ep = |secs: f64| secs / episodes as f64;
 
-        let without = FastFt::new(cfg.clone().without_predictor()).fit(&data);
-        let with = FastFt::new(cfg).fit(&data);
+        let without = FastFt::new(cfg.clone().without_predictor()).fit(&data).expect("FASTFT fit");
+        let with = FastFt::new(cfg).fit(&data).expect("FASTFT fit");
         let (tw, to) = (with.telemetry, without.telemetry);
 
         table.row([

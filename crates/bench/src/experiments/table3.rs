@@ -5,10 +5,13 @@
 use super::methods::lineup;
 use crate::report::{fmt3, Table};
 use crate::Scale;
+use fastft_baselines::RunContext;
 use fastft_ml::{Evaluator, ModelKind};
+use fastft_runtime::Runtime;
 
 /// Run the Table III reproduction.
 pub fn run(scale: Scale) {
+    let rt = Runtime::from_env();
     let data = scale.load("german_credit", 0);
     let evaluator = scale.evaluator();
     let mut table = Table::new(
@@ -17,12 +20,13 @@ pub fn run(scale: Scale) {
     );
     for method in lineup(scale) {
         // Transform once with the default (random-forest) evaluator…
-        let result = method.run(&data, &evaluator, 0);
+        let ctx = RunContext::new(&evaluator, &rt, 0);
+        let result = method.run(&data, &ctx).expect("table3 method run");
         // …then re-score the *same* transformed dataset under each model.
         let mut cells = vec![method.name().to_string()];
         for model in ModelKind::TABLE3 {
             let ev = Evaluator { model, ..evaluator };
-            cells.push(fmt3(ev.evaluate(&result.dataset)));
+            cells.push(fmt3(ev.evaluate(result.dataset()).expect("re-score")));
         }
         table.row(cells);
         eprintln!("[table3] {} done", method.name());

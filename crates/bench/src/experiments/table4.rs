@@ -28,22 +28,16 @@ fn top10(data: &Dataset) -> (Vec<(String, f64)>, f64) {
 pub fn run(scale: Scale) {
     let data = scale.load("wine_quality_red", 0);
     let evaluator = scale.evaluator();
-    let base_score = evaluator.evaluate(&data);
-    let result = FastFt::new(scale.fastft_config(0)).fit(&data);
+    let base_score = evaluator.evaluate(&data).expect("base evaluation");
+    let result = FastFt::new(scale.fastft_config(0)).fit(&data).expect("FASTFT fit");
 
     let (orig_top, orig_sum) = top10(&data);
     let (ft_top, ft_sum) = top10(&result.best_dataset);
 
     let mut table = Table::new(["Original feature", "Imp.", "FASTFT feature", "Imp."]);
     for i in 0..10 {
-        let (on, oi) = orig_top
-            .get(i)
-            .map(|(n, v)| (n.clone(), fmt3(*v)))
-            .unwrap_or_default();
-        let (fnm, fi) = ft_top
-            .get(i)
-            .map(|(n, v)| (n.clone(), fmt3(*v)))
-            .unwrap_or_default();
+        let (on, oi) = orig_top.get(i).map(|(n, v)| (n.clone(), fmt3(*v))).unwrap_or_default();
+        let (fnm, fi) = ft_top.get(i).map(|(n, v)| (n.clone(), fmt3(*v))).unwrap_or_default();
         table.row([on, oi, fnm, fi]);
     }
     table.row([

@@ -109,8 +109,7 @@ impl Scale {
 
     /// Generate the capped, sanitised analog of a catalog dataset.
     pub fn load(self, name: &str, seed: u64) -> Dataset {
-        let spec = datagen::by_name(name)
-            .unwrap_or_else(|| panic!("unknown dataset `{name}`"));
+        let spec = datagen::by_name(name).unwrap_or_else(|| panic!("unknown dataset `{name}`"));
         let mut d = datagen::generate_capped(spec, self.row_cap(), seed);
         d.sanitize();
         d

@@ -12,7 +12,7 @@
 //! All argument parsing is dependency-free (`--flag value` pairs only).
 
 use fastft_core::report::{apply_feature_set, load_feature_set, save_feature_set, summary};
-use fastft_core::{FastFt, FastFtConfig};
+use fastft_core::{FastFt, FastFtConfig, FastFtError, FastFtResult};
 use fastft_ml::Evaluator;
 use fastft_tabular::{csvio, datagen, impute, TaskType};
 use std::path::{Path, PathBuf};
@@ -149,9 +149,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
-/// Execute a command, writing human output to stdout. Returns an error
-/// message on failure (the binary maps it to exit code 1).
-pub fn execute(cmd: Command) -> Result<(), String> {
+/// Execute a command, writing human output to stdout. Returns a typed
+/// [`FastFtError`] on failure (the binary prints it and exits with code 1).
+pub fn execute(cmd: Command) -> FastFtResult<()> {
     match cmd {
         Command::Help => {
             print!("{USAGE}");
@@ -171,11 +171,16 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Generate { name, rows, seed, out } => {
-            let spec =
-                datagen::by_name(&name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            let spec = datagen::by_name(&name)
+                .ok_or_else(|| FastFtError::InvalidConfig(format!("unknown dataset `{name}`")))?;
             let data = datagen::generate_capped(spec, rows, seed);
-            csvio::write_csv(&data, &out).map_err(|e| e.to_string())?;
-            println!("wrote {} rows x {} cols to {}", data.n_rows(), data.n_features(), out.display());
+            csvio::write_csv(&data, &out)?;
+            println!(
+                "wrote {} rows x {} cols to {}",
+                data.n_rows(),
+                data.n_features(),
+                out.display()
+            );
             Ok(())
         }
         Command::Run { data, task, classes, episodes, steps, seed, out } => {
@@ -196,11 +201,11 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 evaluator: Evaluator::default(),
                 ..FastFtConfig::quick()
             };
-            let result = FastFt::new(cfg).fit(&d);
+            let result = FastFt::new(cfg).fit(&d)?;
             print!("{}", summary(&result));
             if let Some(out) = out {
                 std::fs::write(&out, save_feature_set(&result.best_exprs))
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| FastFtError::io(&out, &e))?;
                 println!("feature set saved to {}", out.display());
             }
             Ok(())
@@ -209,10 +214,11 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             let mut d = load_csv(&data, task, classes)?;
             impute::impute(&mut d, impute::ImputeStrategy::Median);
             d.sanitize();
-            let text = std::fs::read_to_string(&features).map_err(|e| e.to_string())?;
+            let text =
+                std::fs::read_to_string(&features).map_err(|e| FastFtError::io(&features, &e))?;
             let exprs = load_feature_set(&text)?;
             let transformed = apply_feature_set(&d, &exprs)?;
-            csvio::write_csv(&transformed, &out).map_err(|e| e.to_string())?;
+            csvio::write_csv(&transformed, &out)?;
             println!(
                 "applied {} features to {} rows; wrote {}",
                 exprs.len(),
@@ -224,7 +230,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
     }
 }
 
-fn load_csv(path: &Path, task: TaskType, classes: usize) -> Result<fastft_tabular::Dataset, String> {
+fn load_csv(path: &Path, task: TaskType, classes: usize) -> FastFtResult<fastft_tabular::Dataset> {
     let name = path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -322,8 +328,7 @@ mod tests {
             out: out.clone(),
         })
         .unwrap();
-        let transformed =
-            csvio::read_csv(&out, "t", TaskType::Classification, 2).unwrap();
+        let transformed = csvio::read_csv(&out, "t", TaskType::Classification, 2).unwrap();
         assert_eq!(transformed.n_rows(), 120);
         for p in [csv, feats, out] {
             std::fs::remove_file(p).ok();

@@ -10,7 +10,7 @@ use crate::state::{HEAD_DIM, OP_DIM, TAIL_DIM};
 use fastft_rl::actor_critic::{Actor, Critic};
 use fastft_rl::dqn::{QAgent, QKind};
 use fastft_rl::schedule::LinearDecay;
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// Which reinforcement-learning framework drives the cascading agents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +98,12 @@ impl CascadingAgents {
                 head: Actor::new(HEAD_DIM, hidden, lr, seed),
                 op: Actor::new(OP_DIM, hidden, lr, seed.wrapping_add(1)),
                 tail: Actor::new(TAIL_DIM, hidden, lr, seed.wrapping_add(2)),
-                critic: Critic::new(crate::state::CLUSTER_REP_DIM, hidden, lr, seed.wrapping_add(3)),
+                critic: Critic::new(
+                    crate::state::CLUSTER_REP_DIM,
+                    hidden,
+                    lr,
+                    seed.wrapping_add(3),
+                ),
             },
             RlKind::Q(q) => Learner::Q(Box::new(QTriple {
                 head: QAgent::new(q, HEAD_DIM, hidden, lr, seed),
@@ -205,7 +210,8 @@ mod tests {
     use fastft_tabular::rngx;
 
     fn dummy_mem(reward: f64) -> MemoryUnit {
-        let head = Decision { candidates: vec![vec![0.1; HEAD_DIM], vec![0.2; HEAD_DIM]], action: 1 };
+        let head =
+            Decision { candidates: vec![vec![0.1; HEAD_DIM], vec![0.2; HEAD_DIM]], action: 1 };
         let op = Decision { candidates: vec![vec![0.1; OP_DIM]; 3], action: 0 };
         let tail = Some(Decision { candidates: vec![vec![0.3; TAIL_DIM]; 2], action: 0 });
         MemoryUnit {
@@ -224,11 +230,8 @@ mod tests {
     #[test]
     fn select_returns_valid_indices_for_all_kinds() {
         let mut rng = rngx::rng(1);
-        for kind in [
-            RlKind::ActorCritic,
-            RlKind::Q(QKind::Dqn),
-            RlKind::Q(QKind::DuelingDoubleDqn),
-        ] {
+        for kind in [RlKind::ActorCritic, RlKind::Q(QKind::Dqn), RlKind::Q(QKind::DuelingDoubleDqn)]
+        {
             let mut agents = CascadingAgents::new(kind, 16, 0.01, 2);
             assert_eq!(agents.kind(), kind);
             let cands = vec![vec![0.1; HEAD_DIM]; 4];
@@ -245,7 +248,8 @@ mod tests {
 
     #[test]
     fn learn_runs_for_all_kinds() {
-        for kind in [RlKind::ActorCritic, RlKind::Q(QKind::DoubleDqn), RlKind::Q(QKind::DuelingDqn)] {
+        for kind in [RlKind::ActorCritic, RlKind::Q(QKind::DoubleDqn), RlKind::Q(QKind::DuelingDqn)]
+        {
             let mut agents = CascadingAgents::new(kind, 8, 0.01, 3);
             let mem = dummy_mem(1.0);
             for _ in 0..5 {

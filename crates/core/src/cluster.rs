@@ -7,6 +7,7 @@
 //! — features with similar label-relevance and high mutual redundancy are
 //! close.
 
+use fastft_runtime::Runtime;
 use fastft_tabular::mi;
 use fastft_tabular::Dataset;
 
@@ -24,21 +25,36 @@ pub struct MiCache {
 }
 
 impl MiCache {
-    /// Compute all pairwise MI statistics for a dataset.
+    /// Compute all pairwise MI statistics for a dataset (single-threaded).
     pub fn compute(data: &Dataset, n_bins: usize) -> Self {
+        Self::compute_with(&Runtime::new(1), data, n_bins)
+    }
+
+    /// Compute all pairwise MI statistics with the upper-triangle rows of
+    /// the `d × d` matrix distributed over `rt`. MI estimation is
+    /// deterministic, so the cache is identical for any thread count.
+    pub fn compute_with(rt: &Runtime, data: &Dataset, n_bins: usize) -> Self {
         let d = data.n_features();
         let relevance = mi::relevance_scores(data, n_bins);
         // Pre-bin every column once, then all pairs are discrete-MI lookups.
         let binned: Vec<Vec<usize>> =
             data.features.iter().map(|c| mi::quantile_bins(&c.values, n_bins)).collect();
-        let mut redundancy = vec![0.0; d * d];
-        for i in 0..d {
+        // Row i computes its strict upper triangle (i, i+1..d) plus the
+        // diagonal entropy — rows are independent work items.
+        let rows: Vec<Vec<f64>> = rt.par_map_indexed((0..d).collect(), |_, i| {
+            let mut row = vec![0.0; d];
             for j in (i + 1)..d {
-                let v = mi::mi_discrete(&binned[i], &binned[j]);
+                row[j] = mi::mi_discrete(&binned[i], &binned[j]);
+            }
+            row[i] = mi::entropy_discrete(&binned[i]);
+            row
+        });
+        let mut redundancy = vec![0.0; d * d];
+        for (i, row) in rows.into_iter().enumerate() {
+            for (j, v) in row.into_iter().enumerate().skip(i) {
                 redundancy[i * d + j] = v;
                 redundancy[j * d + i] = v;
             }
-            redundancy[i * d + i] = mi::entropy_discrete(&binned[i]);
         }
         MiCache { relevance, redundancy, d }
     }
@@ -105,8 +121,7 @@ mod tests {
         let mut rng = rngx::rng(1);
         let n = 800;
         let signal = rngx::normal_vec(&mut rng, n);
-        let copy: Vec<f64> =
-            signal.iter().map(|&s| s + 0.01 * rngx::normal(&mut rng)).collect();
+        let copy: Vec<f64> = signal.iter().map(|&s| s + 0.01 * rngx::normal(&mut rng)).collect();
         let noise = rngx::normal_vec(&mut rng, n);
         let y: Vec<f64> = signal.iter().map(|&s| f64::from(u8::from(s > 0.0))).collect();
         Dataset::new(
@@ -157,6 +172,15 @@ mod tests {
         let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mi_cache_identical_across_thread_counts() {
+        let d = toy();
+        let serial = MiCache::compute(&d, 8);
+        let pooled = MiCache::compute_with(&Runtime::new(4), &d, 8);
+        assert_eq!(serial.relevance, pooled.relevance);
+        assert_eq!(serial.redundancy, pooled.redundancy);
     }
 
     #[test]

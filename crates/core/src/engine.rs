@@ -27,9 +27,12 @@ use crate::state;
 use crate::transform::FeatureSet;
 use fastft_rl::schedule::ExpDecay;
 use fastft_rl::{PrioritizedReplay, UniformReplay};
+use fastft_runtime::Runtime;
 use fastft_tabular::rngx;
+use fastft_tabular::rngx::StdRng;
 use fastft_tabular::Dataset;
-use rand::rngs::StdRng;
+use fastft_tabular::{FastFtError, FastFtResult};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Per-step trace of a run (Figs. 14–15, debugging, case studies).
@@ -72,6 +75,9 @@ pub struct Telemetry {
     pub downstream_evals: usize,
     /// Number of predictor/estimator inference calls.
     pub predictor_calls: usize,
+    /// Downstream evaluations answered from the canonical-key memo cache
+    /// instead of re-running cross-validation.
+    pub cache_hits: usize,
 }
 
 /// Result of a FASTFT run.
@@ -143,7 +149,21 @@ impl FastFt {
 
     /// Run the full pipeline on `data` and return the best transformed
     /// dataset found, with traces and timing.
-    pub fn fit(&self, data: &Dataset) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastFtError::InvalidConfig`] if the configuration fails
+    /// [`FastFtConfig::validate`], [`FastFtError::InvalidData`] if `data`
+    /// has no feature columns, and [`FastFtError::Evaluation`] if the
+    /// downstream evaluator cannot score a fold.
+    pub fn fit(&self, data: &Dataset) -> FastFtResult<RunResult> {
+        self.cfg.validate()?;
+        if data.n_features() == 0 {
+            return Err(FastFtError::InvalidData(format!(
+                "dataset '{}' has no feature columns",
+                data.name
+            )));
+        }
         Run::new(&self.cfg, data).execute()
     }
 }
@@ -166,7 +186,12 @@ struct Run<'a> {
     memory: Memory,
     tracker: NoveltyTracker,
     rng: StdRng,
+    runtime: Runtime,
     telemetry: Telemetry,
+    // Memoised downstream scores keyed by the canonical (order-invariant)
+    // feature-set key: revisiting a feature combination never pays for
+    // cross-validation twice within a run.
+    eval_cache: HashMap<String, f64>,
     // Downstream-evaluated (sequence, score) pairs for component training.
     eval_history: Vec<(Vec<usize>, f64)>,
     // Rolling histories for the α/β percentile triggers.
@@ -191,6 +216,8 @@ impl<'a> Run<'a> {
         } else {
             Memory::Uniform(UniformReplay::new(cfg.memory_size))
         };
+        let runtime =
+            if cfg.threads == 0 { Runtime::from_env() } else { Runtime::new(cfg.threads) };
         Run {
             cfg,
             original: data,
@@ -201,7 +228,9 @@ impl<'a> Run<'a> {
             memory,
             tracker: NoveltyTracker::new(),
             rng: rngx::rng(cfg.seed.wrapping_add(37)),
+            runtime,
             telemetry: Telemetry::default(),
+            eval_cache: HashMap::new(),
             eval_history: Vec::new(),
             pred_history: Vec::new(),
             nov_history: Vec::new(),
@@ -212,12 +241,25 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn evaluate_downstream(&mut self, data: &Dataset) -> f64 {
+    /// Evaluate `data` downstream, memoised on the canonical feature-set
+    /// key when one is supplied. Cache hits return the stored score without
+    /// re-running cross-validation (and count as `cache_hits`, not
+    /// `downstream_evals`); `None` bypasses the cache entirely.
+    fn evaluate_downstream(&mut self, data: &Dataset, key: Option<&str>) -> FastFtResult<f64> {
+        if let Some(k) = key {
+            if let Some(&score) = self.eval_cache.get(k) {
+                self.telemetry.cache_hits += 1;
+                return Ok(score);
+            }
+        }
         let t0 = Instant::now();
-        let score = self.cfg.evaluator.evaluate(data);
+        let score = self.cfg.evaluator.evaluate_with(&self.runtime, data)?;
         self.telemetry.evaluation_secs += t0.elapsed().as_secs_f64();
         self.telemetry.downstream_evals += 1;
-        score
+        if let Some(k) = key {
+            self.eval_cache.insert(k.to_owned(), score);
+        }
+        Ok(score)
     }
 
     /// Should this (predicted performance, novelty) pair trigger a real
@@ -258,14 +300,13 @@ impl<'a> Run<'a> {
         ((nov - self.nov_mean) / (std + 1e-8)).clamp(-3.0, 3.0)
     }
 
-    fn execute(mut self) -> RunResult {
+    fn execute(mut self) -> FastFtResult<RunResult> {
         let t_start = Instant::now();
-        let novelty_weight = ExpDecay {
-            start: self.cfg.eps_start,
-            end: self.cfg.eps_end,
-            m: self.cfg.decay_m,
-        };
-        let base_score = self.evaluate_downstream(self.original);
+        let novelty_weight =
+            ExpDecay { start: self.cfg.eps_start, end: self.cfg.eps_end, m: self.cfg.decay_m };
+        let base_fs = FeatureSet::from_original(self.original);
+        let base_key = canonical_key(&base_fs.exprs);
+        let base_score = self.evaluate_downstream(self.original, Some(&base_key))?;
         let max_features = self.cfg.max_features(self.original.n_features());
 
         let mut best_score = base_score;
@@ -277,8 +318,7 @@ impl<'a> Run<'a> {
             let cold = episode < self.cfg.cold_start_episodes || !self.cfg.use_predictor;
             let mut fs = FeatureSet::from_original(self.original);
             let mut prev_v = base_score;
-            let mut prev_seq =
-                encode_feature_set(&fs.exprs, &self.vocab, self.cfg.max_seq_len);
+            let mut prev_seq = encode_feature_set(&fs.exprs, &self.vocab, self.cfg.max_seq_len);
             let mut prev_state = state::rep_overall(&fs.data);
             // Pending memory from the previous step, waiting for its
             // next-step head candidates before insertion.
@@ -288,16 +328,13 @@ impl<'a> Run<'a> {
                 self.global_step += 1;
                 // --- agent decisions -----------------------------------
                 let t_opt = Instant::now();
-                let cache = MiCache::compute(&fs.data, self.cfg.mi_bins);
-                let clusters =
-                    cluster_features(&fs.data, &cache, self.cfg.cluster_threshold, 2);
+                let cache = MiCache::compute_with(&self.runtime, &fs.data, self.cfg.mi_bins);
+                let clusters = cluster_features(&fs.data, &cache, self.cfg.cluster_threshold, 2);
                 let overall = prev_state.clone();
                 let cluster_reps: Vec<Vec<f64>> =
                     clusters.iter().map(|c| state::rep_cluster(&fs.data, c)).collect();
-                let head_cands: Vec<Vec<f64>> = cluster_reps
-                    .iter()
-                    .map(|cr| state::head_candidate(cr, &overall))
-                    .collect();
+                let head_cands: Vec<Vec<f64>> =
+                    cluster_reps.iter().map(|cr| state::head_candidate(cr, &overall)).collect();
                 // Complete the previous step's memory with this step's head
                 // candidates, then insert and learn.
                 if let Some(mut mem) = pending.take() {
@@ -306,10 +343,8 @@ impl<'a> Run<'a> {
                 }
                 let head_idx = self.agents.select(Role::Head, &head_cands, &mut self.rng);
                 let head_rep = &cluster_reps[head_idx];
-                let op_cands: Vec<Vec<f64>> = Op::ALL
-                    .iter()
-                    .map(|&op| state::op_candidate(head_rep, &overall, op))
-                    .collect();
+                let op_cands: Vec<Vec<f64>> =
+                    Op::ALL.iter().map(|&op| state::op_candidate(head_rep, &overall, op)).collect();
                 let op_idx = self.agents.select(Role::Op, &op_cands, &mut self.rng);
                 let op = Op::ALL[op_idx];
                 let tail_choice = if op.is_binary() {
@@ -333,8 +368,7 @@ impl<'a> Run<'a> {
                     self.cfg.max_new_per_step,
                     &mut self.rng,
                 );
-                let new_exprs: Vec<String> =
-                    generated.iter().map(|(e, _)| e.to_string()).collect();
+                let new_exprs: Vec<String> = generated.iter().map(|(e, _)| e.to_string()).collect();
                 let produced = !generated.is_empty();
                 fs.extend(generated);
                 fs.select_top(max_features, self.cfg.mi_bins);
@@ -346,7 +380,7 @@ impl<'a> Run<'a> {
 
                 // --- scoring and reward --------------------------------
                 let (v, reward, predicted, nov) = if cold {
-                    let v = self.evaluate_downstream(&fs.data);
+                    let v = self.evaluate_downstream(&fs.data, Some(&key))?;
                     self.eval_history.push((seq.clone(), v));
                     // Eq. 5 (plus the novelty bonus when the estimator is
                     // active and trained; during true cold start the
@@ -381,7 +415,7 @@ impl<'a> Run<'a> {
                     let trigger = self.trigger_downstream(pred, nov);
                     self.pred_history.push(pred);
                     if trigger {
-                        let v = self.evaluate_downstream(&fs.data);
+                        let v = self.evaluate_downstream(&fs.data, Some(&key))?;
                         self.eval_history.push((seq.clone(), v));
                         (v, r, false, nov)
                     } else {
@@ -437,7 +471,8 @@ impl<'a> Run<'a> {
             let cold_start_end = episode + 1 == self.cfg.cold_start_episodes;
             let retrain_due = episode + 1 > self.cfg.cold_start_episodes
                 && self.cfg.retrain_every > 0
-                && (episode + 1 - self.cfg.cold_start_episodes).is_multiple_of(self.cfg.retrain_every);
+                && (episode + 1 - self.cfg.cold_start_episodes)
+                    .is_multiple_of(self.cfg.retrain_every);
             let components_active = self.cfg.use_predictor || self.cfg.use_novelty;
             if components_active && cold_start_end {
                 self.train_components_cold_start();
@@ -449,7 +484,7 @@ impl<'a> Run<'a> {
         }
 
         self.telemetry.total_secs = t_start.elapsed().as_secs_f64();
-        RunResult {
+        Ok(RunResult {
             base_score,
             best_score,
             best_dataset: best_fs.data,
@@ -457,7 +492,7 @@ impl<'a> Run<'a> {
             records,
             episode_best,
             telemetry: self.telemetry,
-        }
+        })
     }
 
     fn store_and_learn(&mut self, mem: MemoryUnit) {
@@ -549,7 +584,7 @@ mod tests {
     #[test]
     fn fit_improves_or_matches_base_score() {
         let data = small_data("pima_indian", 200, 0);
-        let result = FastFt::new(tiny_cfg()).fit(&data);
+        let result = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         assert!(result.best_score >= result.base_score);
         assert!(result.best_score <= 1.0);
         assert_eq!(result.episode_best.len(), 4);
@@ -559,7 +594,7 @@ mod tests {
     #[test]
     fn best_dataset_matches_best_exprs() {
         let data = small_data("pima_indian", 150, 1);
-        let result = FastFt::new(tiny_cfg()).fit(&data);
+        let result = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         assert_eq!(result.best_dataset.n_features(), result.best_exprs.len());
         for (c, e) in result.best_dataset.features.iter().zip(&result.best_exprs) {
             assert_eq!(c.name, e.to_string());
@@ -571,7 +606,7 @@ mod tests {
         let data = small_data("pima_indian", 150, 2);
         let cfg = tiny_cfg();
         let cold_steps = cfg.cold_start_episodes * cfg.steps_per_episode;
-        let result = FastFt::new(cfg).fit(&data);
+        let result = FastFt::new(cfg).fit(&data).unwrap();
         for r in &result.records[..cold_steps] {
             assert!(!r.predicted, "cold-start step {}.{} was predicted", r.episode, r.step);
         }
@@ -582,22 +617,84 @@ mod tests {
         let data = small_data("pima_indian", 150, 3);
         let mut cfg = tiny_cfg();
         cfg.episodes = 6;
-        let with = FastFt::new(cfg.clone()).fit(&data);
-        let without = FastFt::new(cfg.without_predictor()).fit(&data);
+        let with = FastFt::new(cfg.clone()).fit(&data).unwrap();
+        let without = FastFt::new(cfg.without_predictor()).fit(&data).unwrap();
         assert!(
             with.telemetry.downstream_evals < without.telemetry.downstream_evals,
             "with: {}, without: {}",
             with.telemetry.downstream_evals,
             without.telemetry.downstream_evals
         );
-        // −PP evaluates every step downstream (+1 for the base score).
-        assert_eq!(without.telemetry.downstream_evals, 6 * 4 + 1);
+        // −PP scores every step downstream (+1 for the base score); repeat
+        // feature sets are answered by the memo cache instead of re-running
+        // cross-validation.
+        assert_eq!(without.telemetry.downstream_evals + without.telemetry.cache_hits, 6 * 4 + 1);
+    }
+
+    #[test]
+    fn memo_cache_returns_cached_score_without_reeval() {
+        let data = small_data("pima_indian", 120, 13);
+        let cfg = tiny_cfg();
+        let mut run = Run::new(&cfg, &data);
+        let s1 = run.evaluate_downstream(&data, Some("k")).unwrap();
+        assert_eq!(run.telemetry.downstream_evals, 1);
+        assert_eq!(run.telemetry.cache_hits, 0);
+        let s2 = run.evaluate_downstream(&data, Some("k")).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(run.telemetry.downstream_evals, 1);
+        assert_eq!(run.telemetry.cache_hits, 1);
+        // A distinct key is a miss.
+        run.evaluate_downstream(&data, Some("other")).unwrap();
+        assert_eq!(run.telemetry.downstream_evals, 2);
+        assert_eq!(run.telemetry.cache_hits, 1);
+        // `None` bypasses the cache entirely.
+        run.evaluate_downstream(&data, None).unwrap();
+        run.evaluate_downstream(&data, None).unwrap();
+        assert_eq!(run.telemetry.downstream_evals, 4);
+        assert_eq!(run.telemetry.cache_hits, 1);
+    }
+
+    #[test]
+    fn fit_rejects_invalid_config() {
+        let data = small_data("pima_indian", 120, 14);
+        let mut cfg = tiny_cfg();
+        cfg.alpha = -3.0;
+        let err = FastFt::new(cfg).fit(&data).unwrap_err();
+        assert!(matches!(err, FastFtError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn fit_rejects_empty_dataset() {
+        use fastft_tabular::TaskType;
+        let data =
+            Dataset::new("empty", Vec::new(), vec![0.0, 1.0], TaskType::Classification, 2).unwrap();
+        let err = FastFt::new(tiny_cfg()).fit(&data).unwrap_err();
+        assert!(matches!(err, FastFtError::InvalidData(_)), "{err}");
+    }
+
+    #[test]
+    fn fit_identical_across_thread_counts() {
+        let data = small_data("pima_indian", 120, 15);
+        let serial = FastFt::new(tiny_cfg()).fit(&data).unwrap();
+        let mut cfg = tiny_cfg();
+        cfg.threads = 4;
+        let pooled = FastFt::new(cfg).fit(&data).unwrap();
+        assert_eq!(serial.base_score, pooled.base_score);
+        assert_eq!(serial.best_score, pooled.best_score);
+        assert_eq!(serial.records.len(), pooled.records.len());
+        for (a, b) in serial.records.iter().zip(&pooled.records) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.reward, b.reward);
+            assert_eq!(a.new_exprs, b.new_exprs);
+        }
+        assert_eq!(serial.telemetry.downstream_evals, pooled.telemetry.downstream_evals);
+        assert_eq!(serial.telemetry.cache_hits, pooled.telemetry.cache_hits);
     }
 
     #[test]
     fn telemetry_times_are_consistent() {
         let data = small_data("pima_indian", 120, 4);
-        let result = FastFt::new(tiny_cfg()).fit(&data);
+        let result = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         let t = result.telemetry;
         assert!(t.evaluation_secs > 0.0);
         assert!(t.optimization_secs > 0.0);
@@ -613,7 +710,7 @@ mod tests {
             tiny_cfg().without_critical_replay(),
             tiny_cfg().without_predictor(),
         ] {
-            let r = FastFt::new(cfg).fit(&data);
+            let r = FastFt::new(cfg).fit(&data).unwrap();
             assert!(r.best_score >= r.base_score);
         }
     }
@@ -625,14 +722,14 @@ mod tests {
         let data = small_data("pima_indian", 120, 6);
         let mut cfg = tiny_cfg();
         cfg.rl = RlKind::Q(QKind::DuelingDqn);
-        let r = FastFt::new(cfg).fit(&data);
+        let r = FastFt::new(cfg).fit(&data).unwrap();
         assert!(r.best_score >= r.base_score);
     }
 
     #[test]
     fn regression_task_runs() {
         let data = small_data("openml_620", 150, 7);
-        let r = FastFt::new(tiny_cfg()).fit(&data);
+        let r = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         assert!(r.best_score >= r.base_score);
         assert!(r.best_score.is_finite());
     }
@@ -640,15 +737,15 @@ mod tests {
     #[test]
     fn detection_task_runs() {
         let data = small_data("thyroid", 400, 8);
-        let r = FastFt::new(tiny_cfg()).fit(&data);
+        let r = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         assert!(r.best_score >= r.base_score);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let data = small_data("pima_indian", 120, 9);
-        let a = FastFt::new(tiny_cfg()).fit(&data);
-        let b = FastFt::new(tiny_cfg()).fit(&data);
+        let a = FastFt::new(tiny_cfg()).fit(&data).unwrap();
+        let b = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         assert_eq!(a.best_score, b.best_score);
         assert_eq!(a.records.len(), b.records.len());
         for (ra, rb) in a.records.iter().zip(&b.records) {
@@ -660,7 +757,7 @@ mod tests {
     #[test]
     fn episode_best_is_monotone() {
         let data = small_data("pima_indian", 120, 10);
-        let r = FastFt::new(tiny_cfg()).fit(&data);
+        let r = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         for w in r.episode_best.windows(2) {
             assert!(w[1] >= w[0]);
         }
@@ -671,7 +768,7 @@ mod tests {
         let data = small_data("pima_indian", 120, 11);
         let cfg = tiny_cfg();
         let cap = cfg.max_features(data.n_features());
-        let r = FastFt::new(cfg).fit(&data);
+        let r = FastFt::new(cfg).fit(&data).unwrap();
         for rec in &r.records {
             assert!(rec.n_features <= cap, "step has {} features > cap {cap}", rec.n_features);
         }
@@ -681,7 +778,7 @@ mod tests {
     #[test]
     fn novelty_distances_recorded() {
         let data = small_data("pima_indian", 120, 12);
-        let r = FastFt::new(tiny_cfg()).fit(&data);
+        let r = FastFt::new(tiny_cfg()).fit(&data).unwrap();
         // First step of the run is maximally novel.
         assert_eq!(r.records[0].novelty_distance, 1.0);
         assert!(r.records.iter().all(|rec| rec.novelty_distance >= 0.0));

@@ -58,9 +58,7 @@ impl Expr {
         match self {
             Expr::Base(i) => row[*i],
             Expr::Unary(op, inner) => op.apply_unary_scalar(inner.eval_row(row)),
-            Expr::Binary(op, l, r) => {
-                op.apply_binary_scalar(l.eval_row(row), r.eval_row(row))
-            }
+            Expr::Binary(op, l, r) => op.apply_binary_scalar(l.eval_row(row), r.eval_row(row)),
         }
     }
 

@@ -16,14 +16,18 @@
 //!
 //! ```no_run
 //! use fastft_core::{FastFt, FastFtConfig};
-//! use fastft_tabular::datagen;
+//! use fastft_tabular::{datagen, FastFtResult};
 //!
-//! let spec = datagen::by_name("pima_indian").unwrap();
-//! let data = datagen::generate(spec, 0);
-//! let result = FastFt::new(FastFtConfig::quick()).fit(&data);
-//! println!("{} -> {}", result.base_score, result.best_score);
-//! for e in &result.best_exprs {
-//!     println!("  {e}");
+//! fn main() -> FastFtResult<()> {
+//!     let spec = datagen::by_name("pima_indian").unwrap();
+//!     let data = datagen::generate(spec, 0);
+//!     let cfg = FastFtConfig::builder().episodes(20).threads(4).build()?;
+//!     let result = FastFt::new(cfg).fit(&data)?;
+//!     println!("{} -> {}", result.base_score, result.best_score);
+//!     for e in &result.best_exprs {
+//!         println!("  {e}");
+//!     }
+//!     Ok(())
 //! }
 //! ```
 
@@ -47,6 +51,7 @@ pub use agents::RlKind;
 pub use config::FastFtConfig;
 pub use engine::{FastFt, RunResult, StepRecord, Telemetry};
 pub use expr::Expr;
+pub use fastft_tabular::{FastFtError, FastFtResult};
 pub use ops::Op;
 pub use parse::parse_expr;
 pub use transform::FeatureSet;

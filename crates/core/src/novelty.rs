@@ -25,15 +25,8 @@ impl NoveltyEstimator {
     /// Build for a vocabulary of `vocab` token ids. The estimator head is
     /// FC 16 → 4 → 1, the target head a single FC (both per §V).
     pub fn new(vocab: usize, cfg: PredictorConfig, seed: u64) -> Self {
-        let estimator = SequenceRegressor::new(
-            vocab,
-            cfg.dim,
-            cfg.dim,
-            cfg.encoder,
-            &[16, 4, 1],
-            cfg.lr,
-            seed,
-        );
+        let estimator =
+            SequenceRegressor::new(vocab, cfg.dim, cfg.dim, cfg.encoder, &[16, 4, 1], cfg.lr, seed);
         let layers = match cfg.encoder {
             fastft_nn::EncoderKind::Lstm { layers }
             | fastft_nn::EncoderKind::Rnn { layers }
@@ -76,7 +69,6 @@ impl NoveltyEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn seqs(seed: u64, n: usize, vocab: usize) -> Vec<Vec<usize>> {
         let mut rng = fastft_nn::init::rng(seed);
@@ -119,20 +111,15 @@ mod tests {
                 ne.train_step(s);
             }
         }
-        let seen_nov: f64 =
-            seen.iter().map(|s| ne.novelty(s)).sum::<f64>() / seen.len() as f64;
+        let seen_nov: f64 = seen.iter().map(|s| ne.novelty(s)).sum::<f64>() / seen.len() as f64;
         // Unseen sequences use the *other half* of the vocabulary, which the
         // estimator never trained on.
         let mut rng = fastft_nn::init::rng(5);
-        let unseen: Vec<Vec<usize>> = (0..12)
-            .map(|_| (0..8).map(|_| rng.gen_range(10..20)).collect())
-            .collect();
+        let unseen: Vec<Vec<usize>> =
+            (0..12).map(|_| (0..8).map(|_| rng.gen_range(10..20usize)).collect()).collect();
         let unseen_nov: f64 =
             unseen.iter().map(|s| ne.novelty(s)).sum::<f64>() / unseen.len() as f64;
-        assert!(
-            unseen_nov > 2.0 * seen_nov,
-            "seen {seen_nov}, unseen {unseen_nov}"
-        );
+        assert!(unseen_nov > 2.0 * seen_nov, "seen {seen_nov}, unseen {unseen_nov}");
     }
 
     #[test]

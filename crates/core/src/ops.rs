@@ -65,7 +65,14 @@ impl Op {
     pub fn is_unary(self) -> bool {
         matches!(
             self,
-            Op::Square | Op::Sqrt | Op::Log | Op::Exp | Op::Sin | Op::Cos | Op::Tanh | Op::Reciprocal
+            Op::Square
+                | Op::Sqrt
+                | Op::Log
+                | Op::Exp
+                | Op::Sin
+                | Op::Cos
+                | Op::Tanh
+                | Op::Reciprocal
         )
     }
 

@@ -13,18 +13,22 @@
 
 use crate::expr::Expr;
 use crate::ops::Op;
+use fastft_tabular::{FastFtError, FastFtResult};
 
 /// Parse an expression string like `((f0*f1)+sq(f2))`.
 ///
-/// Returns a descriptive error on malformed input or trailing characters.
-pub fn parse_expr(input: &str) -> Result<Expr, String> {
+/// Returns [`FastFtError::Parse`] on malformed input or trailing characters.
+pub fn parse_expr(input: &str) -> FastFtResult<Expr> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
-    let e = p.expr()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing input at byte {}: `{}`", p.pos, &input[p.pos..]));
-    }
-    Ok(e)
+    let run = |p: &mut Parser| -> Result<Expr, String> {
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}: `{}`", p.pos, &input[p.pos..]));
+        }
+        Ok(e)
+    };
+    run(&mut p).map_err(FastFtError::Parse)
 }
 
 struct Parser<'a> {

@@ -35,7 +35,8 @@ impl PerformancePredictor {
     /// Build for a vocabulary of `vocab` token ids.
     pub fn new(vocab: usize, cfg: PredictorConfig, seed: u64) -> Self {
         // FC head 16 → 1 per the paper.
-        let net = SequenceRegressor::new(vocab, cfg.dim, cfg.dim, cfg.encoder, &[16, 1], cfg.lr, seed);
+        let net =
+            SequenceRegressor::new(vocab, cfg.dim, cfg.dim, cfg.encoder, &[16, 1], cfg.lr, seed);
         PerformancePredictor { net }
     }
 
@@ -73,12 +74,11 @@ mod tests {
     }
 
     fn training_data(seed: u64) -> Vec<Vec<usize>> {
-        use rand::Rng;
         let mut rng = fastft_nn::init::rng(seed);
         (0..30)
             .map(|_| {
                 let len = rng.gen_range(4..12);
-                (0..len).map(|_| rng.gen_range(0..10)).collect()
+                (0..len).map(|_| rng.gen_range(0..10usize)).collect()
             })
             .collect()
     }

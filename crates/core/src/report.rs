@@ -7,6 +7,7 @@ use crate::expr::Expr;
 use crate::parse::parse_expr;
 use crate::transform::sanitize_column;
 use fastft_tabular::dataset::{Column, Dataset};
+use fastft_tabular::{FastFtError, FastFtResult};
 use std::fmt::Write as _;
 
 /// Multi-line human-readable summary of a run.
@@ -68,7 +69,7 @@ pub fn save_feature_set(exprs: &[Expr]) -> String {
 }
 
 /// Parse a feature set saved by [`save_feature_set`].
-pub fn load_feature_set(text: &str) -> Result<Vec<Expr>, String> {
+pub fn load_feature_set(text: &str) -> FastFtResult<Vec<Expr>> {
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
@@ -79,13 +80,15 @@ pub fn load_feature_set(text: &str) -> Result<Vec<Expr>, String> {
 /// Apply a saved feature set to a (new) dataset with the same base schema,
 /// producing the transformed dataset. Expressions referencing features
 /// beyond the dataset's width are rejected.
-pub fn apply_feature_set(data: &Dataset, exprs: &[Expr]) -> Result<Dataset, String> {
+pub fn apply_feature_set(data: &Dataset, exprs: &[Expr]) -> FastFtResult<Dataset> {
     let d = data.n_features();
     let base: Vec<Vec<f64>> = data.features.iter().map(|c| c.values.clone()).collect();
     let mut columns = Vec::with_capacity(exprs.len());
     for e in exprs {
         if let Some(&bad) = e.base_features().iter().find(|&&i| i >= d) {
-            return Err(format!("expression `{e}` references f{bad} but dataset has {d} features"));
+            return Err(FastFtError::InvalidData(format!(
+                "expression `{e}` references f{bad} but dataset has {d} features"
+            )));
         }
         let mut col = e.eval(&base);
         sanitize_column(&mut col);
@@ -165,7 +168,7 @@ mod tests {
         let spec = fastft_tabular::datagen::by_name("pima_indian").unwrap();
         let mut d = fastft_tabular::datagen::generate_capped(spec, 80, 0);
         d.sanitize();
-        let result = FastFt::new(cfg).fit(&d);
+        let result = FastFt::new(cfg).fit(&d).unwrap();
         let csv = trace_csv(&result);
         assert_eq!(csv.lines().count(), 1 + result.records.len());
         let s = summary(&result);

@@ -14,7 +14,7 @@ pub fn op_usage(exprs: &[Expr]) -> Vec<(Op, usize)> {
     }
     let mut out: Vec<(Op, usize)> =
         Op::ALL.iter().copied().zip(counts).filter(|&(_, c)| c > 0).collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     out
 }
 
@@ -95,7 +95,7 @@ pub fn base_feature_usage(exprs: &[Expr], n_base: usize) -> Vec<(usize, usize)> 
     }
     let mut out: Vec<(usize, usize)> =
         counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     out
 }
 
@@ -164,7 +164,7 @@ mod tests {
         let spec = fastft_tabular::datagen::by_name("pima_indian").unwrap();
         let mut d = fastft_tabular::datagen::generate_capped(spec, 80, 0);
         d.sanitize();
-        let result = FastFt::new(cfg).fit(&d);
+        let result = FastFt::new(cfg).fit(&d).unwrap();
         let summary = episode_summary(&result);
         assert_eq!(summary.len(), 2);
         assert_eq!(summary[0].0, 0);

@@ -122,10 +122,7 @@ mod tests {
     use super::*;
 
     fn exprs() -> Vec<Expr> {
-        vec![
-            Expr::binary(Op::Plus, Expr::base(0), Expr::base(1)),
-            Expr::base(2),
-        ]
+        vec![Expr::binary(Op::Plus, Expr::base(0), Expr::base(1)), Expr::base(2)]
     }
 
     #[test]

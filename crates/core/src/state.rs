@@ -55,7 +55,12 @@ pub const OP_DIM: usize = 2 * CLUSTER_REP_DIM + Op::COUNT;
 
 /// Tail-agent candidate vector:
 /// `Rep(a_h) ⊕ Rep(F̂) ⊕ onehot(a_o) ⊕ Rep(C_i)`.
-pub fn tail_candidate(head_rep: &[f64], overall_rep: &[f64], op: Op, cluster_rep: &[f64]) -> Vec<f64> {
+pub fn tail_candidate(
+    head_rep: &[f64],
+    overall_rep: &[f64],
+    op: Op,
+    cluster_rep: &[f64],
+) -> Vec<f64> {
     let mut v =
         Vec::with_capacity(head_rep.len() + overall_rep.len() + Op::COUNT + cluster_rep.len());
     v.extend_from_slice(head_rep);

@@ -11,8 +11,7 @@ use crate::expr::Expr;
 use crate::ops::Op;
 use fastft_tabular::dataset::{Column, Dataset};
 use fastft_tabular::mi;
-use rand::rngs::StdRng;
-use rand::Rng;
+use fastft_tabular::rngx::StdRng;
 use std::collections::HashSet;
 
 /// A working feature set: the current dataset plus one expression per
@@ -70,10 +69,7 @@ impl FeatureSet {
     ) -> Vec<(Expr, Vec<f64>)> {
         let existing = self.expr_keys();
         let mut candidates: Vec<Expr> = match (op.is_binary(), tail) {
-            (false, _) => head
-                .iter()
-                .map(|&i| Expr::unary(op, self.exprs[i].clone()))
-                .collect(),
+            (false, _) => head.iter().map(|&i| Expr::unary(op, self.exprs[i].clone())).collect(),
             (true, Some(tail)) => {
                 let mut v = Vec::with_capacity(head.len() * tail.len());
                 for &i in head {
@@ -161,11 +157,8 @@ mod tests {
         let a = rngx::normal_vec(&mut rng, n);
         let b = rngx::normal_vec(&mut rng, n);
         let c = rngx::normal_vec(&mut rng, n);
-        let y: Vec<f64> = a
-            .iter()
-            .zip(&b)
-            .map(|(&x, &z)| f64::from(u8::from(x * z > 0.0)))
-            .collect();
+        let y: Vec<f64> =
+            a.iter().zip(&b).map(|(&x, &z)| f64::from(u8::from(x * z > 0.0))).collect();
         Dataset::new(
             "toy",
             vec![Column::new("f0", a), Column::new("f1", b), Column::new("f2", c)],

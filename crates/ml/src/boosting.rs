@@ -7,6 +7,7 @@
 
 use crate::linear::softmax;
 use crate::tree::{argmax, CartParams, DecisionTreeRegressor};
+use fastft_runtime::Runtime;
 
 /// Boosting hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -66,13 +67,18 @@ impl GradientBoostingRegressor {
     /// Prediction for one row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         self.base
-            + self.params.learning_rate
-                * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predictions for a row-major batch.
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// [`GradientBoostingRegressor::predict`] with rows chunked over `rt`.
+    /// (Fitting itself is stagewise-sequential and does not parallelise.)
+    pub fn predict_with(&self, rt: &Runtime, rows: &[Vec<f64>]) -> Vec<f64> {
+        crate::forest::par_rows(rt, rows, |r| self.predict_row(r))
     }
 }
 
@@ -93,8 +99,19 @@ impl GradientBoostingClassifier {
         Self { params, seed, n_classes: 0, trees: Vec::new(), priors: Vec::new() }
     }
 
-    /// Fit on column-major features and integer labels.
+    /// Fit on column-major features and integer labels (single-threaded).
     pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        self.fit_with(&Runtime::new(1), columns, y, n_classes);
+    }
+
+    /// Fit with the per-class trees of each round distributed over `rt`.
+    ///
+    /// Within a round every class tree is fitted against the *round-start*
+    /// softmax probabilities and each tree updates only its own class's
+    /// score column, so the per-class fits are independent and the result
+    /// is identical to [`GradientBoostingClassifier::fit`] for any thread
+    /// count. Rounds remain sequential (boosting is stagewise).
+    pub fn fit_with(&mut self, rt: &Runtime, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
         let n = y.len();
         self.n_classes = n_classes;
         // Log-prior initial scores.
@@ -107,24 +124,28 @@ impl GradientBoostingClassifier {
         let mut scores: Vec<Vec<f64>> = (0..n).map(|_| self.priors.clone()).collect();
         self.trees.clear();
         for r in 0..self.params.n_rounds {
-            let mut round = Vec::with_capacity(n_classes);
             // Gradients of the multinomial log-loss: y_onehot - softmax.
             let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
-            for c in 0..n_classes {
-                let grad: Vec<f64> = (0..n)
-                    .map(|i| f64::from(u8::from(y[i] == c)) - probs[i][c])
-                    .collect();
-                let mut tree = DecisionTreeRegressor::new(
-                    base_cart(&self.params),
-                    self.seed + (r * n_classes + c) as u64,
-                );
-                tree.fit(columns, &grad);
-                for (s, row) in scores.iter_mut().zip(&rows) {
-                    s[c] += self.params.learning_rate * tree.predict_row(row);
+            let round: Vec<(DecisionTreeRegressor, Vec<f64>)> =
+                rt.par_map((0..n_classes).collect(), |c| {
+                    let grad: Vec<f64> =
+                        (0..n).map(|i| f64::from(u8::from(y[i] == c)) - probs[i][c]).collect();
+                    let mut tree = DecisionTreeRegressor::new(
+                        base_cart(&self.params),
+                        self.seed + (r * n_classes + c) as u64,
+                    );
+                    tree.fit(columns, &grad);
+                    let updates: Vec<f64> = rows.iter().map(|row| tree.predict_row(row)).collect();
+                    (tree, updates)
+                });
+            let mut trees = Vec::with_capacity(n_classes);
+            for (c, (tree, updates)) in round.into_iter().enumerate() {
+                for (s, u) in scores.iter_mut().zip(updates) {
+                    s[c] += self.params.learning_rate * u;
                 }
-                round.push(tree);
+                trees.push(tree);
             }
-            self.trees.push(round);
+            self.trees.push(trees);
         }
     }
 
@@ -148,6 +169,11 @@ impl GradientBoostingClassifier {
     pub fn predict_scores(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         let c = 1.min(self.n_classes.saturating_sub(1));
         rows.iter().map(|r| self.predict_proba_row(r)[c]).collect()
+    }
+
+    /// [`GradientBoostingClassifier::predict`] with rows chunked over `rt`.
+    pub fn predict_with(&self, rt: &Runtime, rows: &[Vec<f64>]) -> Vec<usize> {
+        crate::forest::par_rows(rt, rows, |r| argmax(&self.predict_proba_row(r)))
     }
 }
 
@@ -200,8 +226,18 @@ mod tests {
     fn multiclass_boosting() {
         let mut rng = rngx::rng(3);
         let x = rngx::normal_vec(&mut rng, 300);
-        let y: Vec<usize> =
-            x.iter().map(|&v| if v < -0.5 { 0 } else if v < 0.5 { 1 } else { 2 }).collect();
+        let y: Vec<usize> = x
+            .iter()
+            .map(|&v| {
+                if v < -0.5 {
+                    0
+                } else if v < 0.5 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
         let cols = vec![x.clone()];
         let mut m = GradientBoostingClassifier::new(BoostParams::default(), 0);
         m.fit(&cols, &y, 3);

@@ -3,9 +3,15 @@
 //! Bootstrap row sampling plus per-split feature subsampling over the CART
 //! trees of [`crate::tree`]. Probabilities are averaged leaf distributions,
 //! which also provide the ranking scores needed for detection-task AUC.
+//!
+//! Trees are independent given their seeds, so fitting and prediction
+//! parallelise over a [`Runtime`]: every tree draws its bootstrap sample
+//! from its own `StdRng::stream(seed, tree_index)`, which makes the fitted
+//! forest byte-identical for a given seed regardless of worker count.
 
 use crate::tree::{self, CartParams, DecisionTreeClassifier, DecisionTreeRegressor};
-use rand::Rng;
+use fastft_runtime::Runtime;
+use fastft_tabular::rngx::StdRng;
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -30,12 +36,7 @@ impl Default for ForestParams {
 }
 
 fn default_max_features(d: usize, classification: bool) -> usize {
-    if classification {
-        (d as f64).sqrt().ceil() as usize
-    } else {
-        (d / 3).max(1)
-    }
-    .clamp(1, d)
+    if classification { (d as f64).sqrt().ceil() as usize } else { (d / 3).max(1) }.clamp(1, d)
 }
 
 /// Random forest classifier.
@@ -54,32 +55,40 @@ impl RandomForestClassifier {
         Self { params, seed, trees: Vec::new(), n_classes: 0, importances: Vec::new() }
     }
 
-    /// Fit on column-major features and integer labels.
+    /// Fit on column-major features and integer labels (single-threaded).
     pub fn fit(&mut self, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        self.fit_with(&Runtime::new(1), columns, y, n_classes);
+    }
+
+    /// Fit with trees distributed over `rt`. The result is identical to
+    /// [`RandomForestClassifier::fit`] for any thread count: each tree's
+    /// bootstrap rows come from its own seed stream.
+    pub fn fit_with(&mut self, rt: &Runtime, columns: &[Vec<f64>], y: &[usize], n_classes: usize) {
         let n = y.len();
         let d = columns.len();
         let mut cart = self.params.cart;
         if cart.max_features.is_none() {
             cart.max_features = Some(default_max_features(d, true));
         }
-        let mut rng = fastft_tabular::rngx::rng(self.seed);
         let n_boot = ((n as f64) * self.params.sample_frac).round().max(1.0) as usize;
-        self.trees.clear();
-        self.importances = vec![0.0; d];
-        for t in 0..self.params.n_trees {
+        let seed = self.seed;
+        self.trees = rt.par_map_indexed((0..self.params.n_trees).collect(), |_, t| {
+            let mut rng = StdRng::stream(seed, t as u64);
             let rows: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..n)).collect();
-            let tree = tree::fit_classifier_rows(
+            tree::fit_classifier_rows(
                 columns,
                 y,
                 n_classes,
                 &cart,
                 rows,
-                self.seed.wrapping_add(t as u64 + 1),
-            );
+                seed.wrapping_add(t as u64 + 1),
+            )
+        });
+        self.importances = vec![0.0; d];
+        for tree in &self.trees {
             for (acc, imp) in self.importances.iter_mut().zip(tree.feature_importances()) {
                 *acc += imp / self.params.n_trees as f64;
             }
-            self.trees.push(tree);
         }
         self.n_classes = n_classes;
     }
@@ -103,6 +112,11 @@ impl RandomForestClassifier {
     /// Hard labels for a row-major batch.
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| tree::argmax(&self.predict_proba_row(r))).collect()
+    }
+
+    /// [`RandomForestClassifier::predict`] with rows chunked over `rt`.
+    pub fn predict_with(&self, rt: &Runtime, rows: &[Vec<f64>]) -> Vec<usize> {
+        par_rows(rt, rows, |r| tree::argmax(&self.predict_proba_row(r)))
     }
 
     /// Positive-class scores (class 1) for a row-major batch — AUC input.
@@ -131,27 +145,34 @@ impl RandomForestRegressor {
         Self { params, seed, trees: Vec::new(), importances: Vec::new() }
     }
 
-    /// Fit on column-major features and real targets.
+    /// Fit on column-major features and real targets (single-threaded).
     pub fn fit(&mut self, columns: &[Vec<f64>], y: &[f64]) {
+        self.fit_with(&Runtime::new(1), columns, y);
+    }
+
+    /// Fit with trees distributed over `rt`; identical output to
+    /// [`RandomForestRegressor::fit`] for any thread count.
+    pub fn fit_with(&mut self, rt: &Runtime, columns: &[Vec<f64>], y: &[f64]) {
         let n = y.len();
         let d = columns.len();
         let mut cart = self.params.cart;
         if cart.max_features.is_none() {
             cart.max_features = Some(default_max_features(d, false));
         }
-        let mut rng = fastft_tabular::rngx::rng(self.seed);
         let n_boot = ((n as f64) * self.params.sample_frac).round().max(1.0) as usize;
-        self.trees.clear();
-        self.importances = vec![0.0; d];
-        for t in 0..self.params.n_trees {
+        let seed = self.seed;
+        self.trees = rt.par_map_indexed((0..self.params.n_trees).collect(), |_, t| {
+            let mut rng = StdRng::stream(seed, t as u64);
             let rows: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..n)).collect();
-            let mut tree =
-                DecisionTreeRegressor::new(cart, self.seed.wrapping_add(t as u64 + 1));
+            let mut tree = DecisionTreeRegressor::new(cart, seed.wrapping_add(t as u64 + 1));
             tree.fit_rows(columns, y, rows);
+            tree
+        });
+        self.importances = vec![0.0; d];
+        for tree in &self.trees {
             for (acc, imp) in self.importances.iter_mut().zip(tree.feature_importances()) {
                 *acc += imp / self.params.n_trees as f64;
             }
-            self.trees.push(tree);
         }
     }
 
@@ -166,10 +187,35 @@ impl RandomForestRegressor {
         rows.iter().map(|r| self.predict_row(r)).collect()
     }
 
+    /// [`RandomForestRegressor::predict`] with rows chunked over `rt`.
+    pub fn predict_with(&self, rt: &Runtime, rows: &[Vec<f64>]) -> Vec<f64> {
+        par_rows(rt, rows, |r| self.predict_row(r))
+    }
+
     /// Mean impurity-decrease feature importances across trees.
     pub fn feature_importances(&self) -> &[f64] {
         &self.importances
     }
+}
+
+/// Map `f` over rows in contiguous chunks, one chunk per runtime lane,
+/// preserving row order. Prediction has no RNG, so chunking is free to vary
+/// with the thread count without affecting the output.
+pub(crate) fn par_rows<T, U, F>(rt: &Runtime, rows: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if rt.threads() == 1 || rows.len() <= 1 {
+        return rows.iter().map(&f).collect();
+    }
+    let chunk = rows.len().div_ceil(rt.threads());
+    let parts: Vec<&[T]> = rows.chunks(chunk).collect();
+    rt.par_map(parts, |part| part.iter().map(&f).collect::<Vec<U>>())
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -218,6 +264,30 @@ mod tests {
         let mut b = RandomForestClassifier::new(ForestParams::default(), 42);
         b.fit(&cols, &y, 2);
         assert_eq!(a.predict(&rows), b.predict(&rows));
+    }
+
+    #[test]
+    fn fit_identical_across_thread_counts() {
+        let mut rng = rngx::rng(9);
+        let a = rngx::normal_vec(&mut rng, 200);
+        let b = rngx::normal_vec(&mut rng, 200);
+        let y: Vec<usize> = a.iter().map(|&v| usize::from(v > 0.0)).collect();
+        let cols = vec![a.clone(), b.clone()];
+        let rows: Vec<Vec<f64>> = a.iter().zip(&b).map(|(&x, &z)| vec![x, z]).collect();
+        let rt1 = Runtime::new(1);
+        let rt4 = Runtime::new(4);
+        let mut f1 = RandomForestClassifier::new(ForestParams::default(), 11);
+        f1.fit_with(&rt1, &cols, &y, 2);
+        let mut f4 = RandomForestClassifier::new(ForestParams::default(), 11);
+        f4.fit_with(&rt4, &cols, &y, 2);
+        assert_eq!(f1.predict(&rows), f4.predict_with(&rt4, &rows));
+        assert_eq!(f1.feature_importances(), f4.feature_importances());
+        let yr: Vec<f64> = a.iter().map(|v| v * v).collect();
+        let mut r1 = RandomForestRegressor::new(ForestParams::default(), 11);
+        r1.fit_with(&rt1, &cols, &yr);
+        let mut r4 = RandomForestRegressor::new(ForestParams::default(), 11);
+        r4.fit_with(&rt4, &cols, &yr);
+        assert_eq!(r1.predict(&rows), r4.predict_with(&rt4, &rows));
     }
 
     #[test]

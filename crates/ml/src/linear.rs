@@ -7,7 +7,6 @@
 
 use crate::preprocess::Standardizer;
 use crate::tree::argmax;
-use rand::Rng;
 
 /// Multinomial (softmax) logistic regression trained with mini-batch SGD.
 #[derive(Debug, Clone)]
@@ -297,11 +296,11 @@ impl LinearSvm {
                 let i = rng.gen_range(0..n);
                 for (c, wc) in w.iter_mut().enumerate() {
                     let t = if y[i] == c { 1.0 } else { -1.0 };
-                    let margin = t
-                        * (wc[..d].iter().zip(&rows[i]).map(|(a, b)| a * b).sum::<f64>() + wc[d]);
+                    let margin =
+                        t * (wc[..d].iter().zip(&rows[i]).map(|(a, b)| a * b).sum::<f64>() + wc[d]);
                     for j in 0..d {
-                        let grad = self.lambda * wc[j]
-                            - if margin < 1.0 { t * rows[i][j] } else { 0.0 };
+                        let grad =
+                            self.lambda * wc[j] - if margin < 1.0 { t * rows[i][j] } else { 0.0 };
                         wc[j] -= lr * grad;
                     }
                     if margin < 1.0 {
@@ -369,8 +368,18 @@ mod tests {
     fn logistic_multiclass_probabilities() {
         let mut rng = rngx::rng(2);
         let x = rngx::normal_vec(&mut rng, 300);
-        let y: Vec<usize> =
-            x.iter().map(|&v| if v < -0.5 { 0 } else if v < 0.5 { 1 } else { 2 }).collect();
+        let y: Vec<usize> = x
+            .iter()
+            .map(|&v| {
+                if v < -0.5 {
+                    0
+                } else if v < 0.5 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
         let cols = vec![x];
         let mut m = LogisticRegression::new(0);
         m.fit(&cols, &y, 3);

@@ -6,8 +6,7 @@
 //! boundaries with prefix statistics — `O(rows · log rows · features)` per
 //! node, which is the textbook exact CART procedure.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use fastft_tabular::rngx::StdRng;
 
 /// Tree growth hyperparameters shared by every tree-based model here.
 #[derive(Debug, Clone, Copy)]
@@ -31,10 +30,17 @@ impl Default for CartParams {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
     /// Leaf payload: class distribution (classification) or `[mean]`
     /// (regression).
-    Leaf { value: Vec<f64> },
+    Leaf {
+        value: Vec<f64>,
+    },
 }
 
 /// Internal target abstraction so one builder serves both task families.
@@ -172,9 +178,8 @@ impl Cart {
         let stats = crit.stats(&rows);
         let impurity = crit.impurity(&stats, n);
 
-        let make_leaf = depth >= params.max_depth
-            || n < params.min_samples_split
-            || impurity <= 1e-12;
+        let make_leaf =
+            depth >= params.max_depth || n < params.min_samples_split || impurity <= 1e-12;
         if !make_leaf {
             if let Some((feature, threshold, gain, left_rows, right_rows)) =
                 best_split(columns, crit, params, &rows, impurity, rng)
@@ -477,8 +482,7 @@ mod tests {
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         let mse_tree: f64 =
             y.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64;
-        let mse_mean: f64 =
-            y.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / y.len() as f64;
+        let mse_mean: f64 = y.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / y.len() as f64;
         assert!(mse_tree < 0.3 * mse_mean, "tree {mse_tree} vs mean {mse_mean}");
     }
 

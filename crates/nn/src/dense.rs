@@ -3,7 +3,7 @@
 use crate::activation::Activation;
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// `y = act(x @ W + b)` with `W: in×out`, `b: 1×out`.
 #[derive(Debug, Clone)]

@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// Lookup table mapping token ids to dense rows (`vocab × dim`).
 #[derive(Debug, Clone)]

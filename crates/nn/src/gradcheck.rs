@@ -8,7 +8,6 @@
 use crate::dense::Dense;
 use crate::init;
 use crate::matrix::Matrix;
-use rand::Rng;
 
 /// Maximum allowed absolute difference between analytic and numeric
 /// gradients given a matching `eps`; callers pass `(eps, tol)`.

@@ -9,7 +9,7 @@
 use crate::activation::sigmoid;
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// One GRU layer.
 #[derive(Debug, Clone)]
@@ -100,8 +100,7 @@ impl GruLayer {
             }
             h_prev = h_t;
         }
-        let cache =
-            keep.then(|| Cache { x: x.clone(), gates: gates_v, hn_lin: hn_v, hiddens: hs });
+        let cache = keep.then(|| Cache { x: x.clone(), gates: gates_v, hn_lin: hn_v, hiddens: hs });
         (out, cache)
     }
 
@@ -127,8 +126,7 @@ impl GruLayer {
         for t in (0..t_len).rev() {
             let gates = &cache.gates[t];
             let hn_lin = &cache.hn_lin[t];
-            let h_prev: Vec<f64> =
-                if t == 0 { vec![0.0; h] } else { cache.hiddens[t - 1].clone() };
+            let h_prev: Vec<f64> = if t == 0 { vec![0.0; h] } else { cache.hiddens[t - 1].clone() };
             // dzx over [r z n], dzh over [r z n] where the n-slot of zh is
             // multiplied by r inside the candidate.
             let mut dzx = vec![0.0; 3 * h];
@@ -267,7 +265,6 @@ impl Gru {
 #[allow(clippy::needless_range_loop)] // index-driven perturbation loops
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = init::rng(seed);
@@ -298,8 +295,7 @@ mod tests {
         g.forward(&x);
         let dx = g.backward(&c);
         let eps = 1e-6;
-        let analytic: Vec<Vec<f64>> =
-            g.parameters().iter().map(|p| p.grad.data.clone()).collect();
+        let analytic: Vec<Vec<f64>> = g.parameters().iter().map(|p| p.grad.data.clone()).collect();
         for (pi, grads) in analytic.iter().enumerate() {
             for idx in 0..grads.len() {
                 let perturb = |e: f64| {

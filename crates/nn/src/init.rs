@@ -3,24 +3,22 @@
 //! ("coupled orthogonal initialization scaling factor is set to 16.0", §V).
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fastft_tabular::rngx::StdRng;
 
-/// Workspace-standard RNG (mirrors `fastft_tabular::rngx::rng`; duplicated
-/// so this crate stays dependency-free apart from `rand`).
+/// Workspace-standard RNG (a seeded [`rngx::StdRng`](fastft_tabular::rngx)).
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
 /// Standard normal via Box–Muller.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Xavier/Glorot uniform init: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+pub fn xavier(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
     let a = (6.0 / (rows + cols) as f64).sqrt();
     let data = (0..rows * cols).map(|_| rng.gen::<f64>() * 2.0 * a - a).collect();
     Matrix { rows, cols, data }
@@ -31,7 +29,7 @@ pub fn xavier<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix 
 /// Draw a Gaussian matrix and orthonormalise its rows (if `rows <= cols`) or
 /// columns (otherwise) with modified Gram–Schmidt, then multiply by `gain`.
 /// The resulting matrix `M` satisfies `M Mᵀ = gain² I` (or `Mᵀ M = gain² I`).
-pub fn orthogonal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, gain: f64) -> Matrix {
+pub fn orthogonal(rng: &mut StdRng, rows: usize, cols: usize, gain: f64) -> Matrix {
     let transpose_needed = rows > cols;
     let (r, c) = if transpose_needed { (cols, rows) } else { (rows, cols) };
     // r <= c: orthonormalise the r rows of an r×c Gaussian draw.
@@ -90,11 +88,7 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let expect = if i == j { gain * gain } else { 0.0 };
-                assert!(
-                    (gram[(i, j)] - expect).abs() < 1e-8,
-                    "gram[{i}][{j}] = {}",
-                    gram[(i, j)]
-                );
+                assert!((gram[(i, j)] - expect).abs() < 1e-8, "gram[{i}][{j}] = {}", gram[(i, j)]);
             }
         }
     }

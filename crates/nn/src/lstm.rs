@@ -7,7 +7,7 @@
 use crate::activation::sigmoid;
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// One LSTM layer.
 #[derive(Debug, Clone)]
@@ -24,9 +24,9 @@ pub struct LstmLayer {
 
 #[derive(Debug, Clone)]
 struct Cache {
-    x: Matrix,          // T × in_dim
-    gates: Vec<Vec<f64>>, // per t: activated [i f g o], 4H
-    cells: Vec<Vec<f64>>, // per t: c_t, H
+    x: Matrix,              // T × in_dim
+    gates: Vec<Vec<f64>>,   // per t: activated [i f g o], 4H
+    cells: Vec<Vec<f64>>,   // per t: c_t, H
     hiddens: Vec<Vec<f64>>, // per t: h_t, H
 }
 
@@ -310,7 +310,6 @@ impl Lstm {
 #[allow(clippy::needless_range_loop)] // index-driven perturbation loops
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = init::rng(seed);
@@ -474,7 +473,8 @@ mod tests {
             let target = if vals.iter().sum::<f64>() > 0.0 { 1.0 } else { -1.0 };
             let x = Matrix::from_vec(t_len, 1, vals);
             let h = l.infer(&x);
-            let pred: f64 = h.row(t_len - 1).iter().zip(&w_out.value.data).map(|(a, b)| a * b).sum();
+            let pred: f64 =
+                h.row(t_len - 1).iter().zip(&w_out.value.data).map(|(a, b)| a * b).sum();
             final_total += (pred - target) * (pred - target);
         }
         assert!(final_total < 0.6 * last_loss, "final {final_total} vs first-epoch {last_loss}");

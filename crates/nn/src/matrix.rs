@@ -47,7 +47,11 @@ impl Matrix {
 
     /// `self @ other` — standard matrix product.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape {}x{} @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         // ikj loop order: the inner loop walks both `other` and `out` rows
         // contiguously (perf-book cache-friendly traversal).
@@ -75,8 +79,7 @@ impl Matrix {
             let a_row = self.row(i);
             for j in 0..other.rows {
                 let b_row = other.row(j);
-                out.data[i * other.rows + j] =
-                    a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+                out.data[i * other.rows + j] = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
             }
         }
         out

@@ -79,7 +79,6 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::optim::Adam;
-    use rand::Rng;
 
     #[test]
     fn shapes() {
@@ -93,12 +92,7 @@ mod tests {
 
     #[test]
     fn learns_xor() {
-        let data = [
-            ([0.0, 0.0], 0.0),
-            ([0.0, 1.0], 1.0),
-            ([1.0, 0.0], 1.0),
-            ([1.0, 1.0], 0.0),
-        ];
+        let data = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
         let mut m = Mlp::new(&[2, 16, 1], 7);
         let mut opt = Adam::new(0.02);
         for _ in 0..800 {

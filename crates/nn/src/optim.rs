@@ -61,10 +61,7 @@ impl Adam {
     /// Panics if the parameter list shape changes between calls.
     pub fn step(&mut self, mut params: Vec<&mut Tensor>) {
         if self.state.is_empty() {
-            self.state = params
-                .iter()
-                .map(|p| (vec![0.0; p.len()], vec![0.0; p.len()]))
-                .collect();
+            self.state = params.iter().map(|p| (vec![0.0; p.len()], vec![0.0; p.len()])).collect();
         }
         assert_eq!(self.state.len(), params.len(), "parameter list changed");
         self.t += 1;

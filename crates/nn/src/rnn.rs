@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// `h_t = tanh(x_t Wx + h_{t-1} Wh + b)`, stacked `n_layers` deep.
 #[derive(Debug, Clone)]
@@ -89,9 +89,8 @@ impl RnnLayer {
         for t in (0..t_len).rev() {
             let h_t = &states[t];
             let h_prev: &[f64] = if t == 0 { &[] } else { &states[t - 1] };
-            let dz: Vec<f64> = (0..h)
-                .map(|j| (d_out[(t, j)] + dh_next[j]) * (1.0 - h_t[j] * h_t[j]))
-                .collect();
+            let dz: Vec<f64> =
+                (0..h).map(|j| (d_out[(t, j)] + dh_next[j]) * (1.0 - h_t[j] * h_t[j])).collect();
             for (k, &xv) in x.row(t).iter().enumerate() {
                 if xv == 0.0 {
                     continue;
@@ -195,7 +194,6 @@ impl Rnn {
 #[allow(clippy::needless_range_loop)] // index-driven perturbation loops
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = init::rng(seed);
@@ -228,8 +226,7 @@ mod tests {
         let eps = 1e-6;
         // Full check of all parameters of the single layer, using the
         // gradients accumulated by the backward call above.
-        let analytic: Vec<Vec<f64>> =
-            r.parameters().iter().map(|p| p.grad.data.clone()).collect();
+        let analytic: Vec<Vec<f64>> = r.parameters().iter().map(|p| p.grad.data.clone()).collect();
         for (pi, grads) in analytic.iter().enumerate() {
             for idx in 0..grads.len() {
                 let perturb = |e: f64| {

@@ -105,7 +105,8 @@ impl SequenceRegressor {
                 (Encoder::Gru(Gru::new(emb_dim, hidden, layers, &mut rng)), hidden)
             }
             EncoderKind::Transformer { heads, blocks } => {
-                let bs = (0..blocks).map(|_| TransformerBlock::new(emb_dim, heads, &mut rng)).collect();
+                let bs =
+                    (0..blocks).map(|_| TransformerBlock::new(emb_dim, heads, &mut rng)).collect();
                 (Encoder::Transformer(bs), emb_dim)
             }
         };
@@ -238,16 +239,9 @@ impl SequenceRegressor {
         }
         // MSE loss and gradient.
         let k = target.len() as f64;
-        let loss = y
-            .data
-            .iter()
-            .zip(target)
-            .map(|(p, t)| (p - t) * (p - t))
-            .sum::<f64>()
-            / k;
-        let mut dy = Matrix::row_vector(
-            y.data.iter().zip(target).map(|(p, t)| 2.0 * (p - t) / k).collect(),
-        );
+        let loss = y.data.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / k;
+        let mut dy =
+            Matrix::row_vector(y.data.iter().zip(target).map(|(p, t)| 2.0 * (p - t) / k).collect());
         // Backward.
         for layer in self.head.iter_mut().rev() {
             dy = layer.backward(&dy);
@@ -374,14 +368,14 @@ impl SequenceRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use fastft_tabular::rngx::StdRng;
 
     /// Target function: fraction of even tokens in the sequence.
     fn target_of(tokens: &[usize]) -> f64 {
         tokens.iter().filter(|&&t| t % 2 == 0).count() as f64 / tokens.len() as f64
     }
 
-    fn random_tokens(rng: &mut impl Rng, vocab: usize) -> Vec<usize> {
+    fn random_tokens(rng: &mut StdRng, vocab: usize) -> Vec<usize> {
         let len = rng.gen_range(3..10);
         (0..len).map(|_| rng.gen_range(0..vocab)).collect()
     }
@@ -428,7 +422,8 @@ mod tests {
 
     #[test]
     fn predict_is_pure() {
-        let m = SequenceRegressor::new(10, 8, 8, EncoderKind::Lstm { layers: 2 }, &[16, 1], 0.01, 3);
+        let m =
+            SequenceRegressor::new(10, 8, 8, EncoderKind::Lstm { layers: 2 }, &[16, 1], 0.01, 3);
         let toks = vec![1, 2, 3];
         assert_eq!(m.predict(&toks), m.predict(&toks));
     }
@@ -453,8 +448,15 @@ mod tests {
         // small set; prediction error on those sequences must fall.
         let vocab = 10;
         let target = SequenceRegressor::new_orthogonal_target(vocab, 8, 8, 2, &[1], 4.0, 5);
-        let mut est =
-            SequenceRegressor::new(vocab, 8, 8, EncoderKind::Lstm { layers: 2 }, &[8, 4, 1], 0.01, 6);
+        let mut est = SequenceRegressor::new(
+            vocab,
+            8,
+            8,
+            EncoderKind::Lstm { layers: 2 },
+            &[8, 4, 1],
+            0.01,
+            6,
+        );
         let mut rng = init::rng(7);
         let seen: Vec<Vec<usize>> = (0..15).map(|_| random_tokens(&mut rng, vocab)).collect();
         let err = |est: &SequenceRegressor| -> f64 {
@@ -478,7 +480,8 @@ mod tests {
 
     #[test]
     fn memory_grows_slowly_with_sequence_for_lstm() {
-        let m = SequenceRegressor::new(30, 32, 32, EncoderKind::Lstm { layers: 2 }, &[16, 1], 0.01, 8);
+        let m =
+            SequenceRegressor::new(30, 32, 32, EncoderKind::Lstm { layers: 2 }, &[16, 1], 0.01, 8);
         let m10 = m.memory_bytes(10);
         let m100 = m.memory_bytes(100);
         // Recurrent activations are linear in T and dominated by parameters.

@@ -8,7 +8,7 @@ use crate::activation::{softmax_backward_row, softmax_inplace, Activation};
 use crate::dense::Dense;
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
-use rand::rngs::StdRng;
+use fastft_tabular::rngx::StdRng;
 
 /// Per-row layer normalisation with learned scale/shift.
 #[derive(Debug, Clone)]
@@ -79,8 +79,7 @@ impl LayerNorm {
             }
             for j in 0..dim {
                 let dyg = dy[(r, j)] * self.gamma.value.data[j];
-                dx[(r, j)] =
-                    inv_stds[r] * (dyg - sum_dyg / d - xhat[(r, j)] * sum_dyg_xhat / d);
+                dx[(r, j)] = inv_stds[r] * (dyg - sum_dyg / d - xhat[(r, j)] * sum_dyg_xhat / d);
             }
         }
         dx
@@ -134,7 +133,12 @@ impl Head {
             softmax_inplace(scores.row_mut(r));
         }
         let out = scores.matmul(&v);
-        let cache = keep.then(|| HeadCache { q: q.clone(), k: k.clone(), v: v.clone(), attn: scores.clone() });
+        let cache = keep.then(|| HeadCache {
+            q: q.clone(),
+            k: k.clone(),
+            v: v.clone(),
+            attn: scores.clone(),
+        });
         (out, cache)
     }
 
@@ -168,7 +172,7 @@ impl Head {
         // scores = q @ kᵀ
         let d_q = d_scores.matmul(&k);
         let d_k = d_scores.matmul_tn(&q).transpose(); // (dᵀscores q)ᵀ = scoresᵀ q ... see below
-        // d_k: scores = q kᵀ ⇒ dK = d_scoresᵀ @ q
+                                                      // d_k: scores = q kᵀ ⇒ dK = d_scoresᵀ @ q
         let d_k = {
             let _ = d_k;
             d_scores.transpose().matmul(&q)
@@ -214,7 +218,10 @@ impl TransformerBlock {
     /// Build a block with `n_heads` heads over model width `dim`
     /// (`dim % n_heads == 0`) and a `4·dim` FFN.
     pub fn new(dim: usize, n_heads: usize, rng: &mut StdRng) -> Self {
-        assert!(n_heads >= 1 && dim.is_multiple_of(n_heads), "dim {dim} not divisible by {n_heads} heads");
+        assert!(
+            n_heads >= 1 && dim.is_multiple_of(n_heads),
+            "dim {dim} not divisible by {n_heads} heads"
+        );
         let dk = dim / n_heads;
         TransformerBlock {
             heads: (0..n_heads).map(|_| Head::new(dim, dk, rng)).collect(),
@@ -340,7 +347,6 @@ pub fn add_positional_encoding(x: &mut Matrix) {
 #[allow(clippy::needless_range_loop)] // index-driven perturbation loops
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = init::rng(seed);
@@ -436,8 +442,7 @@ mod tests {
         let c = seq(3, 4, 11);
         b.forward(&x);
         b.backward(&c);
-        let analytic: Vec<Vec<f64>> =
-            b.parameters().iter().map(|p| p.grad.data.clone()).collect();
+        let analytic: Vec<Vec<f64>> = b.parameters().iter().map(|p| p.grad.data.clone()).collect();
         let eps = 1e-6;
         let n_params = analytic.len();
         for pi in 0..n_params {

@@ -15,7 +15,7 @@
 use fastft_nn::activation::softmax_inplace;
 use fastft_nn::matrix::Matrix;
 use fastft_nn::{Adam, Mlp};
-use rand::Rng;
+use fastft_tabular::rngx::StdRng;
 
 /// A softmax candidate-scoring policy.
 #[derive(Debug, Clone)]
@@ -39,7 +39,7 @@ impl Actor {
     }
 
     /// Sample an action from the softmax policy.
-    pub fn select<R: Rng + ?Sized>(&self, candidates: &[Vec<f64>], rng: &mut R) -> usize {
+    pub fn select(&self, candidates: &[Vec<f64>], rng: &mut StdRng) -> usize {
         sample_categorical(&self.policy(candidates), rng)
     }
 
@@ -129,7 +129,7 @@ impl ActorCritic {
     }
 
     /// Sample an action from the policy.
-    pub fn select<R: Rng + ?Sized>(&self, candidates: &[Vec<f64>], rng: &mut R) -> usize {
+    pub fn select(&self, candidates: &[Vec<f64>], rng: &mut StdRng) -> usize {
         self.actor.select(candidates, rng)
     }
 
@@ -161,7 +161,7 @@ impl ActorCritic {
 }
 
 /// Sample an index from a normalised probability vector.
-pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+pub fn sample_categorical(probs: &[f64], rng: &mut StdRng) -> usize {
     let mut target = rng.gen::<f64>();
     for (i, &p) in probs.iter().enumerate() {
         target -= p;
@@ -186,8 +186,7 @@ pub fn argmax(xs: &[f64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fastft_tabular::rngx::StdRng;
 
     /// Contextual bandit: two contexts, two actions; reward 1 when the
     /// action index matches the context.
@@ -254,9 +253,8 @@ mod tests {
     #[test]
     fn sample_categorical_respects_mass() {
         let mut rng = StdRng::seed_from_u64(6);
-        let hits = (0..1000)
-            .filter(|_| sample_categorical(&[0.05, 0.9, 0.05], &mut rng) == 1)
-            .count();
+        let hits =
+            (0..1000).filter(|_| sample_categorical(&[0.05, 0.9, 0.05], &mut rng) == 1).count();
         assert!(hits > 830, "hits {hits}");
     }
 

@@ -14,7 +14,7 @@ use fastft_nn::dense::Dense;
 use fastft_nn::init;
 use fastft_nn::matrix::{Matrix, Tensor};
 use fastft_nn::Adam;
-use rand::Rng;
+use fastft_tabular::rngx::StdRng;
 
 /// Which Q-learning variant an agent runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -163,12 +163,7 @@ impl QAgent {
     }
 
     /// ε-greedy action selection.
-    pub fn select<R: Rng + ?Sized>(
-        &self,
-        candidates: &[Vec<f64>],
-        epsilon: f64,
-        rng: &mut R,
-    ) -> usize {
+    pub fn select(&self, candidates: &[Vec<f64>], epsilon: f64, rng: &mut StdRng) -> usize {
         if rng.gen::<f64>() < epsilon {
             rng.gen_range(0..candidates.len())
         } else {
@@ -214,8 +209,7 @@ impl QAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fastft_tabular::rngx::StdRng;
 
     fn candidates_for(ctx: usize) -> Vec<Vec<f64>> {
         (0..2)

@@ -7,7 +7,7 @@
 //! `|δ| + ε` so probabilities stay positive and well-defined (noted in
 //! DESIGN.md §4). [`UniformReplay`] backs the FASTFT⁻ᴿᶜᵀ ablation.
 
-use rand::Rng;
+use fastft_tabular::rngx::StdRng;
 
 /// A generic RL transition; the FASTFT engine stores richer memory units
 /// (`<s, a, r, s', T, v>`) by instantiating `M` with its own type, but this
@@ -85,7 +85,7 @@ impl<M> PrioritizedReplay<M> {
     }
 
     /// Sample one index with probability `P_i / Σ_k P_k` (Eq. 10).
-    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+    pub fn sample_index(&self, rng: &mut StdRng) -> Option<usize> {
         if self.items.is_empty() {
             return None;
         }
@@ -101,18 +101,18 @@ impl<M> PrioritizedReplay<M> {
     }
 
     /// Sample a memory by priority.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&M> {
+    pub fn sample(&self, rng: &mut StdRng) -> Option<&M> {
         self.sample_index(rng).map(|i| &self.items[i])
     }
 
     /// Sample `k` memories by priority (with replacement).
-    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<&M> {
+    pub fn sample_batch(&self, rng: &mut StdRng, k: usize) -> Vec<&M> {
         (0..k).filter_map(|_| self.sample(rng)).collect()
     }
 
     /// Sample a memory uniformly (used for evaluation-component fine-tuning,
     /// Alg. 1 line 16 / Alg. 2 line 21).
-    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&M> {
+    pub fn sample_uniform(&self, rng: &mut StdRng) -> Option<&M> {
         if self.items.is_empty() {
             None
         } else {
@@ -173,7 +173,7 @@ impl<M> UniformReplay<M> {
     }
 
     /// Sample uniformly.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&M> {
+    pub fn sample(&self, rng: &mut StdRng) -> Option<&M> {
         if self.items.is_empty() {
             None
         } else {
@@ -190,8 +190,7 @@ impl<M> UniformReplay<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fastft_tabular::rngx::StdRng;
 
     #[test]
     fn push_until_full_then_overwrite_oldest() {
@@ -211,9 +210,7 @@ mod tests {
         buf.push("low", 0.001);
         buf.push("high", 100.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let highs = (0..1000)
-            .filter(|_| *buf.sample(&mut rng).unwrap() == "high")
-            .count();
+        let highs = (0..1000).filter(|_| *buf.sample(&mut rng).unwrap() == "high").count();
         assert!(highs > 950, "high sampled {highs}/1000");
     }
 

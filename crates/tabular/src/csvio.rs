@@ -5,58 +5,74 @@
 //! datasets to disk and to load user-supplied numeric tables.
 
 use crate::dataset::{Column, Dataset, TaskType};
+use crate::error::{FastFtError, FastFtResult};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
 /// Write a dataset as CSV (`f0,f1,...,target`).
-pub fn write_csv(data: &Dataset, path: &Path) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
+pub fn write_csv(data: &Dataset, path: &Path) -> FastFtResult<()> {
+    let io_err = |e: &std::io::Error| FastFtError::io(path, e);
+    let file = std::fs::File::create(path).map_err(|e| io_err(&e))?;
     let mut w = BufWriter::new(file);
     let header: Vec<&str> = data.features.iter().map(|c| c.name.as_str()).collect();
-    writeln!(w, "{},target", header.join(","))?;
+    writeln!(w, "{},target", header.join(",")).map_err(|e| io_err(&e))?;
     for i in 0..data.n_rows() {
         for c in &data.features {
-            write!(w, "{},", c.values[i])?;
+            write!(w, "{},", c.values[i]).map_err(|e| io_err(&e))?;
         }
-        writeln!(w, "{}", data.targets[i])?;
+        writeln!(w, "{}", data.targets[i]).map_err(|e| io_err(&e))?;
     }
-    w.flush()
+    w.flush().map_err(|e| io_err(&e))
 }
 
 /// Read a CSV written by [`write_csv`] (or any numeric CSV whose last column
 /// is the target). Task metadata must be supplied by the caller because CSV
 /// carries no task information.
-pub fn read_csv(path: &Path, name: &str, task: TaskType, n_classes: usize) -> Result<Dataset, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+pub fn read_csv(
+    path: &Path,
+    name: &str,
+    task: TaskType,
+    n_classes: usize,
+) -> FastFtResult<Dataset> {
+    let io_err = |e: &std::io::Error| FastFtError::io(path, e);
+    let file = std::fs::File::open(path).map_err(|e| io_err(&e))?;
     let mut lines = std::io::BufReader::new(file).lines();
     let header = lines
         .next()
-        .ok_or("empty file")?
-        .map_err(|e| e.to_string())?;
+        .ok_or_else(|| FastFtError::Parse(format!("{}: empty file", path.display())))?
+        .map_err(|e| io_err(&e))?;
     let names: Vec<String> = header.split(',').map(str::to_owned).collect();
     if names.len() < 2 {
-        return Err("need at least one feature column plus target".into());
+        return Err(FastFtError::Parse("need at least one feature column plus target".into()));
     }
     let n_feats = names.len() - 1;
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_feats];
     let mut targets = Vec::new();
     for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(|e| io_err(&e))?;
         if line.trim().is_empty() {
             continue;
         }
         let cells: Vec<&str> = line.split(',').collect();
         if cells.len() != names.len() {
-            return Err(format!("row {}: expected {} cells, got {}", lineno + 2, names.len(), cells.len()));
+            return Err(FastFtError::Parse(format!(
+                "row {}: expected {} cells, got {}",
+                lineno + 2,
+                names.len(),
+                cells.len()
+            )));
         }
         for (j, cell) in cells[..n_feats].iter().enumerate() {
-            let v: f64 = cell.trim().parse().map_err(|e| format!("row {}, col {j}: {e}", lineno + 2))?;
+            let v: f64 = cell
+                .trim()
+                .parse()
+                .map_err(|e| FastFtError::Parse(format!("row {}, col {j}: {e}", lineno + 2)))?;
             columns[j].push(v);
         }
         let y: f64 = cells[n_feats]
             .trim()
             .parse()
-            .map_err(|e| format!("row {}, target: {e}", lineno + 2))?;
+            .map_err(|e| FastFtError::Parse(format!("row {}, target: {e}", lineno + 2)))?;
         targets.push(y);
     }
     let features = names[..n_feats]

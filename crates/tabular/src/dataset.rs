@@ -1,5 +1,6 @@
 //! Column-major tabular dataset with a task-typed target.
 
+use crate::error::{FastFtError, FastFtResult};
 use std::fmt;
 
 /// The downstream task family a dataset is labelled for.
@@ -103,25 +104,29 @@ impl Dataset {
         targets: Vec<f64>,
         task: TaskType,
         n_classes: usize,
-    ) -> Result<Self, String> {
+    ) -> FastFtResult<Self> {
         let n = targets.len();
         for c in &features {
             if c.values.len() != n {
-                return Err(format!(
+                return Err(FastFtError::InvalidData(format!(
                     "column `{}` has {} rows but target has {}",
                     c.name,
                     c.values.len(),
                     n
-                ));
+                )));
             }
         }
         if task.is_discrete() {
             if n_classes < 2 {
-                return Err(format!("discrete task needs >=2 classes, got {n_classes}"));
+                return Err(FastFtError::InvalidData(format!(
+                    "discrete task needs >=2 classes, got {n_classes}"
+                )));
             }
             for (i, &y) in targets.iter().enumerate() {
                 if y.fract() != 0.0 || y < 0.0 || y as usize >= n_classes {
-                    return Err(format!("row {i}: target {y} is not a class index < {n_classes}"));
+                    return Err(FastFtError::InvalidData(format!(
+                        "row {i}: target {y} is not a class index < {n_classes}"
+                    )));
                 }
             }
         }
@@ -196,7 +201,7 @@ impl Dataset {
 
     /// Replace the feature set, keeping targets/metadata. Columns must match
     /// the row count.
-    pub fn with_features(&self, features: Vec<Column>) -> Result<Dataset, String> {
+    pub fn with_features(&self, features: Vec<Column>) -> FastFtResult<Dataset> {
         Dataset::new(self.name.clone(), features, self.targets.clone(), self.task, self.n_classes)
     }
 

@@ -1,0 +1,78 @@
+//! The workspace-wide typed error.
+//!
+//! Every fallible public entry point — dataset construction, CSV I/O,
+//! downstream evaluation, expression parsing, configuration building and
+//! `FastFt::fit` itself — returns [`FastFtError`] instead of panicking, so
+//! library consumers and the CLI can report failures without aborting.
+//! The type lives in `fastft-tabular` (the lowest crate in the dependency
+//! graph) and is re-exported as `fastft_core::FastFtError`.
+
+use std::fmt;
+
+/// Result alias used across the workspace's public APIs.
+pub type FastFtResult<T> = Result<T, FastFtError>;
+
+/// Typed error for every fallible FASTFT operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FastFtError {
+    /// A dataset (or column set) violated a shape/typing invariant:
+    /// ragged columns, out-of-range class labels, empty feature sets.
+    InvalidData(String),
+    /// A run configuration was rejected by validation (out-of-range α/β/ε,
+    /// zero-sized buffers, …).
+    InvalidConfig(String),
+    /// Malformed textual input: CSV cells, expression strings, saved
+    /// feature-set files.
+    Parse(String),
+    /// Filesystem failure, with the path it concerned.
+    Io {
+        /// Path of the file being read or written.
+        path: String,
+        /// Stringified OS error.
+        message: String,
+    },
+    /// A downstream evaluation could not be carried out (e.g. a regression
+    /// metric requested for a classification task).
+    Evaluation(String),
+}
+
+impl FastFtError {
+    /// Convenience constructor for [`FastFtError::Io`].
+    pub fn io(path: impl AsRef<std::path::Path>, err: &std::io::Error) -> Self {
+        FastFtError::Io { path: path.as_ref().display().to_string(), message: err.to_string() }
+    }
+}
+
+impl fmt::Display for FastFtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastFtError::InvalidData(m) => write!(f, "invalid data: {m}"),
+            FastFtError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            FastFtError::Parse(m) => write!(f, "parse error: {m}"),
+            FastFtError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
+            FastFtError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FastFtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = FastFtError::InvalidData("ragged".into());
+        assert_eq!(e.to_string(), "invalid data: ragged");
+        let e = FastFtError::Io { path: "x.csv".into(), message: "denied".into() };
+        assert!(e.to_string().contains("x.csv"));
+        assert!(e.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&FastFtError::Parse("bad".into()));
+    }
+}

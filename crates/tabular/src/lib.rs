@@ -21,6 +21,7 @@
 pub mod csvio;
 pub mod datagen;
 pub mod dataset;
+pub mod error;
 pub mod impute;
 pub mod metrics;
 pub mod mi;
@@ -31,5 +32,6 @@ pub mod split;
 pub mod stats;
 
 pub use dataset::{Column, Dataset, TaskType};
+pub use error::{FastFtError, FastFtResult};
 pub use metrics::Metric;
 pub use split::KFold;

@@ -161,8 +161,8 @@ pub fn one_minus_mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    let mae = y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>()
-        / y_true.len() as f64;
+    let mae =
+        y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64;
     1.0 - mae
 }
 
@@ -238,7 +238,8 @@ pub fn erfc(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let erf = 1.0 - poly * (-x * x).exp();
     if sign < 0.0 {
         1.0 + erf

@@ -98,7 +98,12 @@ pub fn mi_continuous(a: &[f64], b: &[f64], n_bins: usize) -> f64 {
 ///
 /// Discrete targets (classification/detection) are used as-is; regression
 /// targets are quantile-binned like the feature.
-pub fn mi_feature_target(feature: &[f64], targets: &[f64], discrete_target: bool, n_bins: usize) -> f64 {
+pub fn mi_feature_target(
+    feature: &[f64],
+    targets: &[f64],
+    discrete_target: bool,
+    n_bins: usize,
+) -> f64 {
     let fb = quantile_bins(feature, n_bins);
     if discrete_target {
         let tb: Vec<usize> = targets.iter().map(|&y| y as usize).collect();

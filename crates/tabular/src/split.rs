@@ -5,7 +5,6 @@
 
 use crate::dataset::Dataset;
 use crate::rngx;
-use rand::Rng;
 
 /// A deterministic k-fold splitter over row indices.
 #[derive(Debug, Clone)]

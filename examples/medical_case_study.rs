@@ -38,10 +38,8 @@ fn main() {
     let n = 800;
     let age: Vec<f64> = (0..n).map(|_| 45.0 + 12.0 * rngx::normal(&mut rng)).collect();
     let height: Vec<f64> = (0..n).map(|_| 1.70 + 0.1 * rngx::normal(&mut rng)).collect();
-    let weight: Vec<f64> = height
-        .iter()
-        .map(|h| 25.0 * h * h + 8.0 * rngx::normal(&mut rng).abs())
-        .collect();
+    let weight: Vec<f64> =
+        height.iter().map(|h| 25.0 * h * h + 8.0 * rngx::normal(&mut rng).abs()).collect();
     let active: Vec<f64> = (0..n).map(|_| 1.0 + rngx::normal(&mut rng).abs()).collect();
     let dbp: Vec<f64> = weight
         .iter()
@@ -49,7 +47,8 @@ fn main() {
         .map(|(w, a)| 60.0 + 0.3 * w - 5.0 * a + 5.0 * rngx::normal(&mut rng))
         .collect();
     let sbp: Vec<f64> = dbp.iter().map(|d| d + 35.0 + 8.0 * rngx::normal(&mut rng)).collect();
-    let chol: Vec<f64> = age.iter().map(|a| 3.5 + 0.02 * a + 0.5 * rngx::normal(&mut rng)).collect();
+    let chol: Vec<f64> =
+        age.iter().map(|a| 3.5 + 0.02 * a + 0.5 * rngx::normal(&mut rng)).collect();
 
     // Risk: abnormal DBP relative to weight and activity + BMI + age.
     let risk: Vec<f64> = (0..n)
@@ -75,8 +74,11 @@ fn main() {
         Dataset::new("cardio_case_study", columns, y, TaskType::Classification, 2).unwrap();
     data.sanitize();
 
-    let result = FastFt::new(FastFtConfig::quick()).fit(&data);
-    println!("cardiovascular case study: F1 {:.4} -> {:.4}\n", result.base_score, result.best_score);
+    let result = FastFt::new(FastFtConfig::quick()).fit(&data).expect("FASTFT fit");
+    println!(
+        "cardiovascular case study: F1 {:.4} -> {:.4}\n",
+        result.base_score, result.best_score
+    );
     println!("traceable features discovered (human-readable):");
     for e in &result.best_exprs {
         let s = e.to_string();
@@ -94,7 +96,12 @@ fn main() {
             rec.episode,
             rec.step,
             rec.reward,
-            rec.new_exprs.iter().take(2).map(|e| humanize(e, &names)).collect::<Vec<_>>().join(", ")
+            rec.new_exprs
+                .iter()
+                .take(2)
+                .map(|e| humanize(e, &names))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 }

@@ -50,13 +50,21 @@ fn main() {
 
     // --- effect inside the full framework (Fig. 14 in miniature) --------
     let cfg = FastFtConfig::quick();
-    let with = FastFt::new(cfg.clone()).fit(&data);
-    let without = FastFt::new(cfg.without_novelty()).fit(&data);
+    let with = FastFt::new(cfg.clone()).fit(&data).expect("FASTFT fit");
+    let without = FastFt::new(cfg.without_novelty()).fit(&data).expect("FASTFT fit");
     let new_with = with.records.iter().filter(|r| r.new_combination).count();
     let new_without = without.records.iter().filter(|r| r.new_combination).count();
     let avg = |r: &fastft_core::RunResult| {
         r.records.iter().map(|x| x.novelty_distance).sum::<f64>() / r.records.len() as f64
     };
-    println!("FASTFT     : {new_with} new combinations, avg novelty distance {:.4}, best {:.4}", avg(&with), with.best_score);
-    println!("FASTFT -NE : {new_without} new combinations, avg novelty distance {:.4}, best {:.4}", avg(&without), without.best_score);
+    println!(
+        "FASTFT     : {new_with} new combinations, avg novelty distance {:.4}, best {:.4}",
+        avg(&with),
+        with.best_score
+    );
+    println!(
+        "FASTFT -NE : {new_without} new combinations, avg novelty distance {:.4}, best {:.4}",
+        avg(&without),
+        without.best_score
+    );
 }

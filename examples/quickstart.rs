@@ -6,9 +6,9 @@
 //! ```
 
 use fastft_core::{FastFt, FastFtConfig};
-use fastft_tabular::datagen;
+use fastft_tabular::{datagen, FastFtResult};
 
-fn main() {
+fn main() -> FastFtResult<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("pima_indian");
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
@@ -30,10 +30,14 @@ fn main() {
     );
 
     let cfg = FastFtConfig { seed, ..FastFtConfig::quick() };
-    let result = FastFt::new(cfg).fit(&data);
+    let result = FastFt::new(cfg).fit(&data)?;
 
     println!("\nbase score:  {:.4}", result.base_score);
-    println!("best score:  {:.4}  (+{:.4})", result.best_score, result.best_score - result.base_score);
+    println!(
+        "best score:  {:.4}  (+{:.4})",
+        result.best_score,
+        result.best_score - result.base_score
+    );
     println!(
         "downstream evaluations: {} | predictor calls: {}",
         result.telemetry.downstream_evals, result.telemetry.predictor_calls
@@ -49,4 +53,5 @@ fn main() {
     for e in &result.best_exprs {
         println!("  {e}");
     }
+    Ok(())
 }

@@ -6,14 +6,14 @@
 use fastft_core::report::{apply_feature_set, load_feature_set, save_feature_set, summary};
 use fastft_core::{FastFt, FastFtConfig};
 use fastft_ml::Evaluator;
-use fastft_tabular::datagen;
+use fastft_tabular::{datagen, FastFtResult};
 
-fn main() {
+fn main() -> FastFtResult<()> {
     let spec = datagen::by_name("svmguide3").unwrap();
     // "Training-time" sample.
     let mut train = datagen::generate_capped(spec, 500, 0);
     train.sanitize();
-    let result = FastFt::new(FastFtConfig::quick()).fit(&train);
+    let result = FastFt::new(FastFtConfig::quick()).fit(&train)?;
     println!("--- search on the training sample ---");
     print!("{}", summary(&result));
 
@@ -29,9 +29,10 @@ fn main() {
     let transformed = apply_feature_set(&fresh, &exprs).expect("schema matches");
 
     let evaluator = Evaluator::default();
-    let base = evaluator.evaluate(&fresh);
-    let with = evaluator.evaluate(&transformed);
+    let base = evaluator.evaluate(&fresh)?;
+    let with = evaluator.evaluate(&transformed)?;
     println!("--- fresh sample ---");
     println!("original features : F1 = {base:.4}");
     println!("transferred set   : F1 = {with:.4} ({:+.4})", with - base);
+    Ok(())
 }

@@ -1,0 +1,92 @@
+//! The redesigned error-returning API surface: every fallible entry point
+//! reports a typed [`FastFtError`] instead of panicking, and the validating
+//! builder is the supported construction path for custom configurations.
+
+use fastft_core::{FastFt, FastFtConfig};
+use fastft_ml::Evaluator;
+use fastft_tabular::{csvio, datagen, Column, Dataset, FastFtError, TaskType};
+use std::path::Path;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fastft-api-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn malformed_csv_cell_is_a_parse_error() {
+    let p = tmp("bad_cell.csv");
+    std::fs::write(&p, "a,b,target\n1.0,2.0,0\nnot_a_number,4.0,1\n").unwrap();
+    let err = csvio::read_csv(&p, "bad", TaskType::Classification, 2).unwrap_err();
+    assert!(matches!(err, FastFtError::Parse(_)), "got {err:?}");
+}
+
+#[test]
+fn missing_csv_file_is_an_io_error_with_path() {
+    let p = Path::new("/nonexistent/fastft/input.csv");
+    let err = csvio::read_csv(p, "missing", TaskType::Classification, 2).unwrap_err();
+    match err {
+        FastFtError::Io { path, .. } => assert!(path.contains("input.csv")),
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
+
+#[test]
+fn ragged_columns_are_invalid_data() {
+    let cols = vec![Column::new("a", vec![1.0, 2.0, 3.0]), Column::new("b", vec![1.0, 2.0])];
+    let err =
+        Dataset::new("ragged", cols, vec![0.0, 1.0, 0.0], TaskType::Classification, 2).unwrap_err();
+    assert!(matches!(err, FastFtError::InvalidData(_)), "got {err:?}");
+}
+
+#[test]
+fn builder_rejects_out_of_range_settings() {
+    let err = FastFtConfig::builder().alpha(250.0).build().unwrap_err();
+    assert!(matches!(err, FastFtError::InvalidConfig(_)), "got {err:?}");
+    let err = FastFtConfig::builder().episodes(0).build().unwrap_err();
+    assert!(matches!(err, FastFtError::InvalidConfig(_)));
+    let err = FastFtConfig::builder().eps_start(0.01).eps_end(0.5).build().unwrap_err();
+    assert!(matches!(err, FastFtError::InvalidConfig(_)));
+}
+
+#[test]
+fn builder_produces_a_runnable_config() {
+    let cfg = FastFtConfig::builder()
+        .episodes(2)
+        .steps_per_episode(3)
+        .cold_start_episodes(1)
+        .evaluator(Evaluator { folds: 3, ..Evaluator::default() })
+        .threads(1)
+        .build()
+        .unwrap();
+    let spec = datagen::by_name("pima_indian").unwrap();
+    let mut d = datagen::generate_capped(spec, 120, 0);
+    d.sanitize();
+    let r = FastFt::new(cfg).fit(&d).unwrap();
+    assert!(r.best_score >= r.base_score);
+}
+
+#[test]
+fn fit_surfaces_invalid_config_instead_of_panicking() {
+    let cfg = FastFtConfig { gamma: 2.0, ..FastFtConfig::quick() };
+    let spec = datagen::by_name("pima_indian").unwrap();
+    let mut d = datagen::generate_capped(spec, 100, 0);
+    d.sanitize();
+    let err = FastFt::new(cfg).fit(&d).unwrap_err();
+    assert!(matches!(err, FastFtError::InvalidConfig(_)), "got {err:?}");
+}
+
+#[test]
+fn fit_rejects_dataset_without_features() {
+    let d = Dataset::new("empty", Vec::new(), vec![0.0, 1.0], TaskType::Classification, 2).unwrap();
+    let err = FastFt::new(FastFtConfig::quick()).fit(&d).unwrap_err();
+    assert!(matches!(err, FastFtError::InvalidData(_)), "got {err:?}");
+}
+
+#[test]
+fn errors_display_with_context() {
+    let err = FastFtConfig::builder().mi_bins(1).build().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("invalid config"), "{msg}");
+    assert!(msg.contains("mi_bins"), "{msg}");
+}

@@ -2,8 +2,9 @@
 //! every task type, produces consistent artifacts, and respects the shared
 //! evaluator.
 
-use fastft_baselines::{all_methods, standard_methods};
+use fastft_baselines::{all_methods, standard_methods, RunContext};
 use fastft_ml::Evaluator;
+use fastft_runtime::Runtime;
 use fastft_tabular::datagen;
 
 fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
@@ -17,11 +18,12 @@ fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
 fn every_method_runs_on_classification() {
     let data = load("pima_indian", 150);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = Runtime::new(1);
     for method in all_methods() {
-        let r = method.run(&data, &ev, 0);
+        let r = method.run(&data, &RunContext::new(&ev, &rt, 0)).unwrap();
         assert!((0.0..=1.0).contains(&r.score), "{}: score {}", method.name(), r.score);
-        assert_eq!(r.dataset.n_rows(), data.n_rows(), "{}", method.name());
-        assert!(r.elapsed_secs > 0.0);
+        assert_eq!(r.dataset().n_rows(), data.n_rows(), "{}", method.name());
+        assert!(r.wall_time_secs > 0.0);
     }
 }
 
@@ -29,8 +31,9 @@ fn every_method_runs_on_classification() {
 fn every_method_runs_on_regression() {
     let data = load("openml_620", 150);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = Runtime::new(1);
     for method in standard_methods() {
-        let r = method.run(&data, &ev, 1);
+        let r = method.run(&data, &RunContext::new(&ev, &rt, 1)).unwrap();
         assert!(r.score.is_finite(), "{}: {}", method.name(), r.score);
     }
 }
@@ -39,8 +42,9 @@ fn every_method_runs_on_regression() {
 fn every_method_runs_on_detection() {
     let data = load("thyroid", 400);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = Runtime::new(1);
     for method in standard_methods() {
-        let r = method.run(&data, &ev, 2);
+        let r = method.run(&data, &RunContext::new(&ev, &rt, 2)).unwrap();
         assert!((0.0..=1.0).contains(&r.score), "{}: {}", method.name(), r.score);
     }
 }
@@ -50,10 +54,11 @@ fn transformed_datasets_keep_targets_intact() {
     // Definition 2: labels never change under feature transformation.
     let data = load("svmguide3", 150);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = Runtime::new(1);
     for method in all_methods() {
-        let r = method.run(&data, &ev, 3);
-        assert_eq!(r.dataset.targets, data.targets, "{} mutated targets", method.name());
-        assert_eq!(r.dataset.task, data.task);
+        let r = method.run(&data, &RunContext::new(&ev, &rt, 3)).unwrap();
+        assert_eq!(r.dataset().targets, data.targets, "{} mutated targets", method.name());
+        assert_eq!(r.dataset().task, data.task);
     }
 }
 
@@ -61,11 +66,35 @@ fn transformed_datasets_keep_targets_intact() {
 fn methods_are_deterministic_given_seed() {
     let data = load("pima_indian", 120);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = Runtime::new(1);
     for method in standard_methods() {
-        let a = method.run(&data, &ev, 9);
-        let b = method.run(&data, &ev, 9);
+        let a = method.run(&data, &RunContext::new(&ev, &rt, 9)).unwrap();
+        let b = method.run(&data, &RunContext::new(&ev, &rt, 9)).unwrap();
         assert_eq!(a.score, b.score, "{} nondeterministic", method.name());
         assert_eq!(a.downstream_evals, b.downstream_evals, "{}", method.name());
+    }
+}
+
+#[test]
+fn methods_are_deterministic_across_worker_counts() {
+    // The tentpole guarantee: the same seed gives byte-identical scores no
+    // matter how many workers the runtime runs.
+    let data = load("pima_indian", 120);
+    let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt1 = Runtime::new(1);
+    let rt4 = Runtime::new(4);
+    for method in all_methods() {
+        let a = method.run(&data, &RunContext::new(&ev, &rt1, 5)).unwrap();
+        let b = method.run(&data, &RunContext::new(&ev, &rt4, 5)).unwrap();
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "{} differs across worker counts",
+            method.name()
+        );
+        let ea: Vec<String> = a.exprs().iter().map(ToString::to_string).collect();
+        let eb: Vec<String> = b.exprs().iter().map(ToString::to_string).collect();
+        assert_eq!(ea, eb, "{} feature set differs across worker counts", method.name());
     }
 }
 
@@ -73,8 +102,9 @@ fn methods_are_deterministic_given_seed() {
 fn only_caafe_reports_simulated_latency() {
     let data = load("pima_indian", 120);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = Runtime::new(1);
     for method in standard_methods() {
-        let r = method.run(&data, &ev, 4);
+        let r = method.run(&data, &RunContext::new(&ev, &rt, 4)).unwrap();
         if method.name() == "CAAFE" {
             assert!(r.simulated_latency_secs > 0.0);
         } else {

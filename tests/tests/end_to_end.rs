@@ -29,10 +29,10 @@ fn load(name: &str, rows: usize, seed: u64) -> fastft_tabular::Dataset {
 #[test]
 fn best_score_is_reproducible_from_best_dataset() {
     let data = load("pima_indian", 250, 0);
-    let result = FastFt::new(cfg()).fit(&data);
+    let result = FastFt::new(cfg()).fit(&data).unwrap();
     // Re-evaluate the returned dataset with the same evaluator: must match
     // the reported best exactly (same folds, same seed).
-    let re = cfg().evaluator.evaluate(&result.best_dataset);
+    let re = cfg().evaluator.evaluate(&result.best_dataset).unwrap();
     assert!(
         (re - result.best_score).abs() < 1e-12,
         "reported {} but re-evaluation gives {re}",
@@ -43,7 +43,7 @@ fn best_score_is_reproducible_from_best_dataset() {
 #[test]
 fn best_exprs_regenerate_best_dataset() {
     let data = load("pima_indian", 200, 1);
-    let result = FastFt::new(cfg()).fit(&data);
+    let result = FastFt::new(cfg()).fit(&data).unwrap();
     let base: Vec<Vec<f64>> = data.features.iter().map(|c| c.values.clone()).collect();
     for (expr, col) in result.best_exprs.iter().zip(&result.best_dataset.features) {
         let mut regen = expr.eval(&base);
@@ -59,13 +59,14 @@ fn fastft_finds_planted_interactions_better_than_random() {
     // On the planted-interaction generator, FASTFT's guided search should
     // beat pure random generation given the same downstream evaluator, on
     // the majority of seeds.
-    use fastft_baselines::{expansion::Rfg, FeatureTransformMethod};
+    use fastft_baselines::{expansion::Rfg, FeatureTransformMethod, RunContext};
     let evaluator = Evaluator { folds: 3, ..Evaluator::default() };
+    let rt = fastft_runtime::Runtime::new(1);
     let mut wins = 0;
     for seed in 0..3 {
         let data = load("openml_620", 250, seed);
-        let fast = FastFt::new(FastFtConfig { seed, ..cfg() }).fit(&data);
-        let rfg = Rfg::default().run(&data, &evaluator, seed);
+        let fast = FastFt::new(FastFtConfig { seed, ..cfg() }).fit(&data).unwrap();
+        let rfg = Rfg::default().run(&data, &RunContext::new(&evaluator, &rt, seed)).unwrap();
         if fast.best_score >= rfg.score {
             wins += 1;
         }
@@ -77,7 +78,7 @@ fn fastft_finds_planted_interactions_better_than_random() {
 fn all_task_types_improve_or_match_base() {
     for (name, rows) in [("svmguide3", 250), ("openml_589", 250), ("mammography", 500)] {
         let data = load(name, rows, 2);
-        let r = FastFt::new(cfg()).fit(&data);
+        let r = FastFt::new(cfg()).fit(&data).unwrap();
         assert!(
             r.best_score >= r.base_score,
             "{name}: best {} < base {}",
@@ -90,18 +91,18 @@ fn all_task_types_improve_or_match_base() {
 #[test]
 fn telemetry_accounts_for_downstream_evaluations() {
     let data = load("pima_indian", 200, 3);
-    let r = FastFt::new(cfg()).fit(&data);
-    // Evaluated (non-predicted) step records + the base evaluation can't
-    // exceed the telemetry count (component training doesn't evaluate).
+    let r = FastFt::new(cfg()).fit(&data).unwrap();
+    // Every evaluated (non-predicted) step plus the base evaluation either
+    // hit the downstream model or the memo cache — nothing is unaccounted.
     let evaluated_steps = r.records.iter().filter(|x| !x.predicted).count();
-    assert_eq!(evaluated_steps + 1, r.telemetry.downstream_evals);
+    assert_eq!(evaluated_steps + 1, r.telemetry.downstream_evals + r.telemetry.cache_hits);
 }
 
 #[test]
 fn run_is_deterministic_across_processes_shape() {
     let data = load("wine_quality_red", 200, 4);
-    let a = FastFt::new(cfg()).fit(&data);
-    let b = FastFt::new(cfg()).fit(&data);
+    let a = FastFt::new(cfg()).fit(&data).unwrap();
+    let b = FastFt::new(cfg()).fit(&data).unwrap();
     assert_eq!(a.best_score, b.best_score);
     assert_eq!(
         a.best_exprs.iter().map(ToString::to_string).collect::<Vec<_>>(),

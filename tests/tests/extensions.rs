@@ -29,7 +29,7 @@ fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
 fn gru_encoder_drives_full_pipeline() {
     let data = load("pima_indian", 150);
     let c = FastFtConfig { encoder: EncoderKind::Gru { layers: 2 }, ..cfg() };
-    let r = FastFt::new(c).fit(&data);
+    let r = FastFt::new(c).fit(&data).unwrap();
     assert!(r.best_score >= r.base_score);
     assert!(r.telemetry.predictor_calls > 0);
 }
@@ -44,7 +44,7 @@ fn all_four_encoders_agree_on_api() {
         EncoderKind::Transformer { heads: 2, blocks: 1 },
     ] {
         let c = FastFtConfig { encoder: enc, ..cfg() };
-        let r = FastFt::new(c).fit(&data);
+        let r = FastFt::new(c).fit(&data).unwrap();
         assert!(r.best_score.is_finite(), "{}", enc.label());
     }
 }
@@ -53,10 +53,10 @@ fn all_four_encoders_agree_on_api() {
 fn label_noise_lowers_base_score() {
     let clean = load("pima_indian", 300);
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
-    let clean_score = ev.evaluate(&clean);
+    let clean_score = ev.evaluate(&clean).unwrap();
     let mut noisy = clean.clone();
     noise::flip_labels(&mut noisy, 0.3, 1);
-    let noisy_score = ev.evaluate(&noisy);
+    let noisy_score = ev.evaluate(&noisy).unwrap();
     assert!(
         noisy_score < clean_score,
         "30% label noise should hurt: clean {clean_score}, noisy {noisy_score}"
@@ -68,7 +68,7 @@ fn fastft_still_improves_under_moderate_noise() {
     let mut data = load("pima_indian", 200);
     noise::add_feature_noise(&mut data, 0.2, 2);
     data.sanitize();
-    let r = FastFt::new(cfg()).fit(&data);
+    let r = FastFt::new(cfg()).fit(&data).unwrap();
     assert!(r.best_score >= r.base_score);
 }
 

@@ -18,10 +18,7 @@ fn load(name: &str, rows: usize) -> fastft_tabular::Dataset {
 }
 
 /// Collect (sequence, downstream score) pairs the way the cold start does.
-fn collect_pairs(
-    data: &fastft_tabular::Dataset,
-    n: usize,
-) -> (TokenVocab, Vec<(Vec<usize>, f64)>) {
+fn collect_pairs(data: &fastft_tabular::Dataset, n: usize) -> (TokenVocab, Vec<(Vec<usize>, f64)>) {
     let vocab = TokenVocab::new(data.n_features());
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
     let mut rng = rngx::rng(5);
@@ -39,7 +36,7 @@ fn collect_pairs(
         };
         fs.extend(generated);
         let seq = encode_feature_set(&fs.exprs, &vocab, 128);
-        let score = ev.evaluate(&fs.data);
+        let score = ev.evaluate(&fs.data).unwrap();
         out.push((seq, score));
     }
     (vocab, out)
@@ -88,14 +85,10 @@ fn novelty_separates_seen_from_unseen_engine_sequences() {
             ne.train_step(s);
         }
     }
-    let seen_avg: f64 =
-        seen.iter().map(|(s, _)| ne.novelty(s)).sum::<f64>() / seen.len() as f64;
+    let seen_avg: f64 = seen.iter().map(|(s, _)| ne.novelty(s)).sum::<f64>() / seen.len() as f64;
     let unseen_avg: f64 =
         unseen.iter().map(|(s, _)| ne.novelty(s)).sum::<f64>() / unseen.len() as f64;
-    assert!(
-        unseen_avg > seen_avg,
-        "unseen {unseen_avg} should exceed seen {seen_avg}"
-    );
+    assert!(unseen_avg > seen_avg, "unseen {unseen_avg} should exceed seen {seen_avg}");
 }
 
 #[test]
@@ -114,7 +107,7 @@ fn transformed_dataset_roundtrips_through_csv() {
     // Traceable names survive the round trip.
     assert!(back.features.iter().any(|c| c.name.contains('*')));
     let ev = Evaluator { folds: 3, ..Evaluator::default() };
-    assert_eq!(ev.evaluate(&fs.data), ev.evaluate(&back));
+    assert_eq!(ev.evaluate(&fs.data).unwrap(), ev.evaluate(&back).unwrap());
     std::fs::remove_file(&path).ok();
 }
 
@@ -128,7 +121,7 @@ fn every_downstream_model_scores_transformed_features() {
     fs.select_top(12, 10);
     for model in ModelKind::TABLE3 {
         let ev = Evaluator { model, folds: 3, ..Evaluator::default() };
-        let s = ev.evaluate(&fs.data);
+        let s = ev.evaluate(&fs.data).unwrap();
         assert!((0.0..=1.0).contains(&s), "{model:?}: {s}");
     }
 }
