@@ -18,6 +18,7 @@ use crate::agents::{CascadingAgents, Decision, MemoryUnit, Role};
 use crate::cluster::{cluster_features, MiCache};
 use crate::config::FastFtConfig;
 use crate::expr::Expr;
+use crate::lru::LruCache;
 use crate::novelty::NoveltyEstimator;
 use crate::novelty_metric::NoveltyTracker;
 use crate::ops::Op;
@@ -32,7 +33,6 @@ use fastft_tabular::rngx;
 use fastft_tabular::rngx::StdRng;
 use fastft_tabular::Dataset;
 use fastft_tabular::{FastFtError, FastFtResult};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Per-step trace of a run (Figs. 14–15, debugging, case studies).
@@ -78,6 +78,9 @@ pub struct Telemetry {
     /// Downstream evaluations answered from the canonical-key memo cache
     /// instead of re-running cross-validation.
     pub cache_hits: usize,
+    /// Memo-cache entries evicted to respect
+    /// [`FastFtConfig::eval_cache_capacity`].
+    pub cache_evictions: usize,
 }
 
 /// Result of a FASTFT run.
@@ -190,8 +193,9 @@ struct Run<'a> {
     telemetry: Telemetry,
     // Memoised downstream scores keyed by the canonical (order-invariant)
     // feature-set key: revisiting a feature combination never pays for
-    // cross-validation twice within a run.
-    eval_cache: HashMap<String, f64>,
+    // cross-validation twice within a run. Capacity-capped LRU so long
+    // runs cannot grow it without limit (`cfg.eval_cache_capacity`).
+    eval_cache: LruCache<String, f64>,
     // Downstream-evaluated (sequence, score) pairs for component training.
     eval_history: Vec<(Vec<usize>, f64)>,
     // Rolling histories for the α/β percentile triggers.
@@ -230,7 +234,7 @@ impl<'a> Run<'a> {
             rng: rngx::rng(cfg.seed.wrapping_add(37)),
             runtime,
             telemetry: Telemetry::default(),
-            eval_cache: HashMap::new(),
+            eval_cache: LruCache::new(cfg.eval_cache_capacity),
             eval_history: Vec::new(),
             pred_history: Vec::new(),
             nov_history: Vec::new(),
@@ -257,7 +261,9 @@ impl<'a> Run<'a> {
         self.telemetry.evaluation_secs += t0.elapsed().as_secs_f64();
         self.telemetry.downstream_evals += 1;
         if let Some(k) = key {
-            self.eval_cache.insert(k.to_owned(), score);
+            if self.eval_cache.insert(k.to_owned(), score) {
+                self.telemetry.cache_evictions += 1;
+            }
         }
         Ok(score)
     }
@@ -652,6 +658,27 @@ mod tests {
         run.evaluate_downstream(&data, None).unwrap();
         assert_eq!(run.telemetry.downstream_evals, 4);
         assert_eq!(run.telemetry.cache_hits, 1);
+    }
+
+    #[test]
+    fn memo_cache_capacity_evicts_and_counts() {
+        let data = small_data("pima_indian", 120, 17);
+        let mut cfg = tiny_cfg();
+        cfg.eval_cache_capacity = 2;
+        let mut run = Run::new(&cfg, &data);
+        run.evaluate_downstream(&data, Some("a")).unwrap();
+        run.evaluate_downstream(&data, Some("b")).unwrap();
+        assert_eq!(run.telemetry.cache_evictions, 0);
+        // Third distinct key exceeds the capacity of 2: "a" is evicted.
+        run.evaluate_downstream(&data, Some("c")).unwrap();
+        assert_eq!(run.telemetry.cache_evictions, 1);
+        // "b" survived (was more recent than "a") and hits.
+        run.evaluate_downstream(&data, Some("b")).unwrap();
+        assert_eq!(run.telemetry.cache_hits, 1);
+        // "a" was evicted, so it re-evaluates (and evicts "c").
+        run.evaluate_downstream(&data, Some("a")).unwrap();
+        assert_eq!(run.telemetry.downstream_evals, 4);
+        assert_eq!(run.telemetry.cache_evictions, 2);
     }
 
     #[test]

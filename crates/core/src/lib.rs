@@ -36,6 +36,7 @@ pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod expr;
+pub mod lru;
 pub mod novelty;
 pub mod novelty_metric;
 pub mod ops;

@@ -1,0 +1,224 @@
+//! A small least-recently-used cache with a hard capacity cap.
+//!
+//! Backs the engine's downstream-evaluation memo cache
+//! ([`crate::engine`]): long runs revisit feature combinations often
+//! enough that memoisation pays, but an unbounded `HashMap` grows without
+//! limit over thousands of episodes. This cache bounds memory with an
+//! O(1) slot-arena doubly-linked recency list — no external crates.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU cache. `capacity == 0` means unbounded (plain memoisation).
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            entries: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted to respect the capacity so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let slot = *self.map.get(key)?;
+        self.touch(slot);
+        Some(&self.entries[slot].value)
+    }
+
+    /// Insert or update `key`. Marks it most recently used; evicts the
+    /// least recently used entry when at capacity and returns `true` when
+    /// an eviction happened.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            self.entries[slot].value = value;
+            self.touch(slot);
+            return false;
+        }
+        let mut evicted = false;
+        let slot = if self.capacity > 0 && self.map.len() >= self.capacity {
+            // Recycle the least-recently-used slot.
+            let slot = self.tail;
+            self.unlink(slot);
+            self.map.remove(&self.entries[slot].key);
+            self.entries[slot].key = key.clone();
+            self.entries[slot].value = value;
+            self.evictions += 1;
+            evicted = true;
+            slot
+        } else {
+            self.entries.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+            self.entries.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+
+    /// Detach `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.entries[slot].prev, self.entries[slot].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.entries[slot].prev = NIL;
+        self.entries[slot].next = NIL;
+    }
+
+    /// Attach `slot` as the most recently used entry.
+    fn push_front(&mut self, slot: usize) {
+        self.entries[slot].prev = NIL;
+        self.entries[slot].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_and_miss() {
+        let mut c: LruCache<String, f64> = LruCache::new(4);
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), 1.0);
+        assert_eq!(c.get("a"), Some(&1.0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert!(!c.insert(1, 10));
+        assert!(!c.insert(2, 20));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(&10));
+        assert!(c.insert(3, 30));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&2).is_none(), "LRU entry should be evicted");
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn update_does_not_evict() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(!c.insert(1, 11));
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        for i in 0..1000 {
+            assert!(!c.insert(i, i));
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&0), Some(&0));
+    }
+
+    #[test]
+    fn capacity_one_churns() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10);
+        assert!(c.insert(2, 20));
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_order_follows_recency_chain() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        c.get(&1); // order (MRU→LRU): 1, 3, 2
+        c.insert(4, 4); // evicts 2
+        assert!(c.get(&2).is_none());
+        c.insert(5, 5); // evicts 3
+        assert!(c.get(&3).is_none());
+        assert_eq!(c.get(&1), Some(&1));
+        assert_eq!(c.get(&4), Some(&4));
+        assert_eq!(c.get(&5), Some(&5));
+        assert_eq!(c.evictions(), 2);
+    }
+}

@@ -5,8 +5,9 @@
 //! logistic loss with one score function per class (multinomial "one tree
 //! per class per round" scheme) over shallow CART regressors.
 
+use crate::binning::BinnedMatrix;
 use crate::linear::softmax;
-use crate::tree::{argmax, CartParams, DecisionTreeRegressor};
+use crate::tree::{argmax, CartParams, DecisionTreeRegressor, SplitMethod};
 use fastft_runtime::Runtime;
 
 /// Boosting hyperparameters.
@@ -18,16 +19,51 @@ pub struct BoostParams {
     pub learning_rate: f64,
     /// Base-learner tree depth.
     pub max_depth: usize,
+    /// Split-search backend of the base learners. In histogram mode the
+    /// training matrix is binned once and shared across every round and
+    /// class (targets change between rounds, features never do).
+    pub split_method: SplitMethod,
 }
 
 impl Default for BoostParams {
     fn default() -> Self {
-        BoostParams { n_rounds: 30, learning_rate: 0.15, max_depth: 3 }
+        BoostParams {
+            n_rounds: 30,
+            learning_rate: 0.15,
+            max_depth: 3,
+            split_method: SplitMethod::default(),
+        }
     }
 }
 
 fn base_cart(p: &BoostParams) -> CartParams {
-    CartParams { max_depth: p.max_depth, ..CartParams::default() }
+    CartParams { max_depth: p.max_depth, split_method: p.split_method, ..CartParams::default() }
+}
+
+/// Bin once for the whole boosting run when in histogram mode.
+fn shared_binning(p: &BoostParams, columns: &[Vec<f64>]) -> Option<BinnedMatrix> {
+    match p.split_method {
+        SplitMethod::Histogram { max_bins } => Some(BinnedMatrix::build(columns, max_bins)),
+        SplitMethod::Exact => None,
+    }
+}
+
+/// Fit one base learner against `targets`, using the shared bins when
+/// available.
+fn fit_base(
+    params: &BoostParams,
+    columns: &[Vec<f64>],
+    binned: Option<&BinnedMatrix>,
+    targets: &[f64],
+    seed: u64,
+) -> DecisionTreeRegressor {
+    let mut tree = DecisionTreeRegressor::new(base_cart(params), seed);
+    let rows: Vec<usize> = (0..targets.len()).collect();
+    match binned {
+        Some(b) => tree.fit_rows_prebinned(b, targets, rows),
+        None => tree.fit_rows(columns, targets, rows),
+    }
+    tree
 }
 
 /// Gradient-boosted regression trees (squared loss).
@@ -52,11 +88,11 @@ impl GradientBoostingRegressor {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
         let mut pred = vec![self.base; n];
         self.trees.clear();
+        let binned = shared_binning(&self.params, columns);
         for r in 0..self.params.n_rounds {
             let resid: Vec<f64> = y.iter().zip(&pred).map(|(t, p)| t - p).collect();
-            let mut tree =
-                DecisionTreeRegressor::new(base_cart(&self.params), self.seed + r as u64);
-            tree.fit(columns, &resid);
+            let tree =
+                fit_base(&self.params, columns, binned.as_ref(), &resid, self.seed + r as u64);
             for (p, row) in pred.iter_mut().zip(&rows) {
                 *p += self.params.learning_rate * tree.predict_row(row);
             }
@@ -123,6 +159,8 @@ impl GradientBoostingClassifier {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
         let mut scores: Vec<Vec<f64>> = (0..n).map(|_| self.priors.clone()).collect();
         self.trees.clear();
+        let binned = shared_binning(&self.params, columns);
+        let binned = binned.as_ref();
         for r in 0..self.params.n_rounds {
             // Gradients of the multinomial log-loss: y_onehot - softmax.
             let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
@@ -130,11 +168,13 @@ impl GradientBoostingClassifier {
                 rt.par_map((0..n_classes).collect(), |c| {
                     let grad: Vec<f64> =
                         (0..n).map(|i| f64::from(u8::from(y[i] == c)) - probs[i][c]).collect();
-                    let mut tree = DecisionTreeRegressor::new(
-                        base_cart(&self.params),
+                    let tree = fit_base(
+                        &self.params,
+                        columns,
+                        binned,
+                        &grad,
                         self.seed + (r * n_classes + c) as u64,
                     );
-                    tree.fit(columns, &grad);
                     let updates: Vec<f64> = rows.iter().map(|row| tree.predict_row(row)).collect();
                     (tree, updates)
                 });

@@ -11,7 +11,7 @@ use crate::boosting::{BoostParams, GradientBoostingClassifier, GradientBoostingR
 use crate::forest::{ForestParams, RandomForestClassifier, RandomForestRegressor};
 use crate::knn::Knn;
 use crate::linear::{LinearSvm, LogisticRegression, RidgeClassifier, RidgeRegressor};
-use crate::tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor};
+use crate::tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor, SplitMethod};
 use fastft_runtime::Runtime;
 use fastft_tabular::dataset::Dataset;
 use fastft_tabular::metrics::{self, Metric};
@@ -74,11 +74,20 @@ pub struct Evaluator {
     pub folds: usize,
     /// Seed controlling folds and model randomness.
     pub seed: u64,
+    /// Split-search backend of the tree-stack models (forest, boosting,
+    /// single tree); ignored by the linear/kNN families.
+    pub split_method: SplitMethod,
 }
 
 impl Default for Evaluator {
     fn default() -> Self {
-        Evaluator { model: ModelKind::RandomForest, metric: None, folds: 5, seed: 0 }
+        Evaluator {
+            model: ModelKind::RandomForest,
+            metric: None,
+            folds: 5,
+            seed: 0,
+            split_method: SplitMethod::default(),
+        }
     }
 }
 
@@ -91,6 +100,20 @@ impl Evaluator {
     /// The metric this evaluator reports for `task`.
     pub fn metric_for(&self, task: TaskType) -> Metric {
         self.metric.unwrap_or_else(|| Metric::default_for(task))
+    }
+
+    fn forest_params(&self) -> ForestParams {
+        let mut p = ForestParams::default();
+        p.cart.split_method = self.split_method;
+        p
+    }
+
+    fn boost_params(&self) -> BoostParams {
+        BoostParams { split_method: self.split_method, ..BoostParams::default() }
+    }
+
+    fn cart_params(&self) -> CartParams {
+        CartParams { split_method: self.split_method, ..CartParams::default() }
     }
 
     /// Mean k-fold CV score of the dataset's feature set (single-threaded).
@@ -177,17 +200,17 @@ impl Evaluator {
     ) -> Vec<f64> {
         match self.model {
             ModelKind::RandomForest => {
-                let mut m = RandomForestRegressor::new(ForestParams::default(), self.seed);
+                let mut m = RandomForestRegressor::new(self.forest_params(), self.seed);
                 m.fit(train_cols, y);
                 m.predict(test_rows)
             }
             ModelKind::GradientBoosting => {
-                let mut m = GradientBoostingRegressor::new(BoostParams::default(), self.seed);
+                let mut m = GradientBoostingRegressor::new(self.boost_params(), self.seed);
                 m.fit(train_cols, y);
                 m.predict(test_rows)
             }
             ModelKind::DecisionTree => {
-                let mut m = DecisionTreeRegressor::new(CartParams::default(), self.seed);
+                let mut m = DecisionTreeRegressor::new(self.cart_params(), self.seed);
                 m.fit(train_cols, y);
                 m.predict(test_rows)
             }
@@ -215,17 +238,17 @@ impl Evaluator {
     ) -> (Vec<usize>, Vec<f64>) {
         match self.model {
             ModelKind::RandomForest => {
-                let mut m = RandomForestClassifier::new(ForestParams::default(), self.seed);
+                let mut m = RandomForestClassifier::new(self.forest_params(), self.seed);
                 m.fit(train_cols, y, n_classes);
                 (m.predict(test_rows), m.predict_scores(test_rows))
             }
             ModelKind::GradientBoosting => {
-                let mut m = GradientBoostingClassifier::new(BoostParams::default(), self.seed);
+                let mut m = GradientBoostingClassifier::new(self.boost_params(), self.seed);
                 m.fit(train_cols, y, n_classes);
                 (m.predict(test_rows), m.predict_scores(test_rows))
             }
             ModelKind::DecisionTree => {
-                let mut m = DecisionTreeClassifier::new(CartParams::default(), self.seed);
+                let mut m = DecisionTreeClassifier::new(self.cart_params(), self.seed);
                 m.fit(train_cols, y, n_classes);
                 let pred = m.predict(test_rows);
                 let scores = test_rows

@@ -4,7 +4,11 @@
 //! `A(T(F), y)` whose runtime FASTFT works to avoid. Implemented here:
 //!
 //! - [`tree`]: CART decision trees (gini / variance criteria) with impurity
-//!   feature importances.
+//!   feature importances and two split backends — exact sorted search and
+//!   LightGBM-style histogram search over the quantile bins of
+//!   [`binning`].
+//! - [`binning`]: once-per-fit quantile discretisation of feature columns
+//!   into `u8` bin codes (plus a missing bin for NaN).
 //! - [`forest`]: bagged random forests, the default evaluator model used in
 //!   the paper's main tables.
 //! - [`boosting`]: gradient-boosted trees (the XGBoost stand-in of
@@ -15,6 +19,7 @@
 //! - [`evaluator`]: the unified k-fold cross-validation evaluator producing
 //!   the paper's metrics.
 
+pub mod binning;
 pub mod boosting;
 pub mod evaluator;
 pub mod forest;
@@ -24,6 +29,7 @@ pub mod naive_bayes;
 pub mod preprocess;
 pub mod tree;
 
+pub use binning::BinnedMatrix;
 pub use evaluator::{Evaluator, ModelKind};
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
-pub use tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor};
+pub use tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor, SplitMethod};

@@ -2,11 +2,48 @@
 //!
 //! One generic builder serves both classification (gini impurity, class
 //! distribution leaves) and regression (variance impurity, mean leaves).
-//! Split search sorts the node's rows per candidate feature and scans all
-//! boundaries with prefix statistics — `O(rows · log rows · features)` per
-//! node, which is the textbook exact CART procedure.
+//! Two split-search backends share it, selected by
+//! [`CartParams::split_method`]:
+//!
+//! - [`SplitMethod::Exact`] sorts the node's rows per candidate feature
+//!   and scans all boundaries with prefix statistics —
+//!   `O(rows · log rows · features)` per node, the textbook procedure.
+//! - [`SplitMethod::Histogram`] (the default) quantile-bins every feature
+//!   once per fit into `u8` codes ([`crate::binning::BinnedMatrix`]),
+//!   builds per-node gradient/count histograms in one `O(rows)` pass,
+//!   scans bin boundaries instead of row boundaries, and derives the
+//!   larger child's histogram by subtracting the smaller child from the
+//!   parent, so only the smaller child is ever re-scanned. Histogram and
+//!   row-index buffers are pooled across the whole fit, eliminating the
+//!   per-node allocation churn of the exact path.
+//!
+//! NaN feature values are deterministic in both backends: prediction
+//! routes NaN right (any `NaN <= t` is false), the histogram path bins
+//! NaN into a dedicated missing bin with the highest code, and the exact
+//! path sorts NaN to the end of every column scan.
 
+use crate::binning::BinnedMatrix;
 use fastft_tabular::rngx::StdRng;
+
+/// Split-search backend used when growing a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMethod {
+    /// Sort-based exhaustive search over every boundary between distinct
+    /// values.
+    Exact,
+    /// Histogram search over at most `max_bins` quantile bins per feature
+    /// (clamped to 1..=255), plus a missing bin for NaN.
+    Histogram {
+        /// Maximum finite-value bins per feature.
+        max_bins: u16,
+    },
+}
+
+impl Default for SplitMethod {
+    fn default() -> Self {
+        SplitMethod::Histogram { max_bins: 255 }
+    }
+}
 
 /// Tree growth hyperparameters shared by every tree-based model here.
 #[derive(Debug, Clone, Copy)]
@@ -20,11 +57,19 @@ pub struct CartParams {
     /// Candidate features per split: `None` = all, `Some(k)` = random k
     /// (random-forest style column subsampling).
     pub max_features: Option<usize>,
+    /// Split-search backend.
+    pub split_method: SplitMethod,
 }
 
 impl Default for CartParams {
     fn default() -> Self {
-        CartParams { max_depth: 8, min_samples_split: 4, min_samples_leaf: 2, max_features: None }
+        CartParams {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+            split_method: SplitMethod::default(),
+        }
     }
 }
 
@@ -44,6 +89,11 @@ enum Node {
 }
 
 /// Internal target abstraction so one builder serves both task families.
+///
+/// The `hist_*` methods are the flat-slice view used by the histogram
+/// backend: a bin accumulator is `hist_width()` consecutive `f64` slots
+/// whose slot 0 is the sample count, so child histograms can be derived
+/// by element-wise subtraction (sibling trick).
 trait Criterion {
     /// Aggregated sufficient statistics of a sample subset.
     type Stats: Clone;
@@ -52,6 +102,14 @@ trait Criterion {
     fn add(&self, s: &mut Self::Stats, row: usize);
     fn sub(&self, s: &mut Self::Stats, row: usize);
     fn leaf_value(&self, s: &Self::Stats, n: usize) -> Vec<f64>;
+    /// `f64` slots per histogram bin; slot 0 holds the count.
+    fn hist_width(&self) -> usize;
+    /// Accumulate one row into a bin accumulator.
+    fn hist_add(&self, acc: &mut [f64], row: usize);
+    /// Impurity of an accumulator (`acc[0]` = count).
+    fn hist_impurity(&self, acc: &[f64]) -> f64;
+    /// Leaf payload of an accumulator.
+    fn hist_leaf(&self, acc: &[f64]) -> Vec<f64>;
 }
 
 struct GiniCriterion<'a> {
@@ -91,6 +149,31 @@ impl Criterion for GiniCriterion<'_> {
             return vec![1.0 / self.n_classes as f64; self.n_classes];
         }
         counts.iter().map(|c| c / n as f64).collect()
+    }
+
+    fn hist_width(&self) -> usize {
+        1 + self.n_classes
+    }
+
+    fn hist_add(&self, acc: &mut [f64], row: usize) {
+        acc[0] += 1.0;
+        acc[1 + self.y[row]] += 1.0;
+    }
+
+    fn hist_impurity(&self, acc: &[f64]) -> f64 {
+        let n = acc[0];
+        if n <= 0.0 {
+            return 0.0;
+        }
+        1.0 - acc[1..].iter().map(|c| (c / n) * (c / n)).sum::<f64>()
+    }
+
+    fn hist_leaf(&self, acc: &[f64]) -> Vec<f64> {
+        let n = acc[0];
+        if n <= 0.0 {
+            return vec![1.0 / self.n_classes as f64; self.n_classes];
+        }
+        acc[1..].iter().map(|c| c / n).collect()
     }
 }
 
@@ -132,12 +215,84 @@ impl Criterion for VarCriterion<'_> {
     fn leaf_value(&self, &(sum, _): &(f64, f64), n: usize) -> Vec<f64> {
         vec![if n == 0 { 0.0 } else { sum / n as f64 }]
     }
+
+    fn hist_width(&self) -> usize {
+        3 // count, sum, sum of squares
+    }
+
+    fn hist_add(&self, acc: &mut [f64], row: usize) {
+        let v = self.y[row];
+        acc[0] += 1.0;
+        acc[1] += v;
+        acc[2] += v * v;
+    }
+
+    fn hist_impurity(&self, acc: &[f64]) -> f64 {
+        let n = acc[0];
+        if n <= 0.0 {
+            return 0.0;
+        }
+        (acc[2] / n - (acc[1] / n) * (acc[1] / n)).max(0.0)
+    }
+
+    fn hist_leaf(&self, acc: &[f64]) -> Vec<f64> {
+        vec![if acc[0] <= 0.0 { 0.0 } else { acc[1] / acc[0] }]
+    }
 }
 
 #[derive(Debug, Clone)]
 struct Cart {
     nodes: Vec<Node>,
     importances: Vec<f64>,
+}
+
+/// Pooled buffers for one histogram-mode fit: histogram buffers are
+/// recycled through a free list (peak ≈ tree depth + 1 alive at once) and
+/// one scratch vector serves every stable row partition, so growing a node
+/// allocates nothing once the pools are warm.
+struct HistWorkspace {
+    /// Recycled histogram buffers, each `n_features * stride * width`.
+    free: Vec<Vec<f64>>,
+    /// Histogram buffer length.
+    size: usize,
+    /// Right-side rows staging area for in-place stable partition.
+    scratch: Vec<usize>,
+}
+
+impl HistWorkspace {
+    fn new(size: usize, n_rows: usize) -> Self {
+        HistWorkspace { free: Vec::new(), size, scratch: Vec::with_capacity(n_rows) }
+    }
+
+    fn alloc(&mut self) -> Vec<f64> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.fill(0.0);
+                buf
+            }
+            None => vec![0.0; self.size],
+        }
+    }
+
+    fn release(&mut self, buf: Vec<f64>) {
+        self.free.push(buf);
+    }
+}
+
+/// Accumulate the histogram of `rows` over every feature into `hist`
+/// (assumed zeroed), laid out `[feature][bin][slot]` with uniform
+/// `stride` bins per feature.
+fn build_hist<C: Criterion>(binned: &BinnedMatrix, crit: &C, rows: &[usize], hist: &mut [f64]) {
+    let width = crit.hist_width();
+    let stride = binned.stride();
+    for f in 0..binned.n_features() {
+        let codes = binned.codes(f);
+        let base = f * stride * width;
+        for &r in rows {
+            let off = base + codes[r] as usize * width;
+            crit.hist_add(&mut hist[off..off + width], r);
+        }
+    }
 }
 
 impl Cart {
@@ -152,14 +307,149 @@ impl Cart {
         let n_total = rows.len();
         let mut tree = Cart { nodes: Vec::new(), importances: vec![0.0; n_features] };
         tree.grow(columns, crit, params, rows, 0, n_total, rng);
-        // Normalise importances to sum to 1 when any split happened.
-        let total: f64 = tree.importances.iter().sum();
+        tree.normalise_importances();
+        tree
+    }
+
+    /// Histogram-mode fit over a prebuilt [`BinnedMatrix`].
+    fn fit_hist<C: Criterion>(
+        binned: &BinnedMatrix,
+        crit: &C,
+        params: &CartParams,
+        mut rows: Vec<usize>,
+        rng: &mut StdRng,
+    ) -> Cart {
+        let n_features = binned.n_features();
+        let n_total = rows.len();
+        let mut tree = Cart { nodes: Vec::new(), importances: vec![0.0; n_features] };
+        let width = crit.hist_width();
+        let mut ws = HistWorkspace::new(n_features * binned.stride() * width, n_total);
+        let mut root = ws.alloc();
+        build_hist(binned, crit, &rows, &mut root);
+        tree.grow_hist(binned, crit, params, &mut ws, &mut rows, root, 0, n_total, rng);
+        tree.normalise_importances();
+        tree
+    }
+
+    /// Normalise importances to sum to 1 when any split happened.
+    fn normalise_importances(&mut self) {
+        let total: f64 = self.importances.iter().sum();
         if total > 0.0 {
-            for imp in &mut tree.importances {
+            for imp in &mut self.importances {
                 *imp /= total;
             }
         }
-        tree
+    }
+
+    /// Recursively grow a histogram-mode subtree; returns its root node
+    /// index. `hist` is this node's histogram (ownership transfers in:
+    /// it is either recycled into `ws` or reused for the larger child).
+    #[allow(clippy::too_many_arguments)]
+    fn grow_hist<C: Criterion>(
+        &mut self,
+        binned: &BinnedMatrix,
+        crit: &C,
+        params: &CartParams,
+        ws: &mut HistWorkspace,
+        rows: &mut [usize],
+        hist: Vec<f64>,
+        depth: usize,
+        n_total: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n = rows.len();
+        let width = crit.hist_width();
+        // Node-level stats: every row lands in exactly one bin of feature
+        // 0 (including its missing bin), so summing that feature's bins
+        // recovers the node totals.
+        let mut node = vec![0.0; width];
+        if binned.n_features() > 0 {
+            for b in 0..=binned.n_bins(0) {
+                let off = b * width;
+                for (k, slot) in node.iter_mut().enumerate() {
+                    *slot += hist[off + k];
+                }
+            }
+        }
+        let impurity = crit.hist_impurity(&node);
+
+        let make_leaf =
+            depth >= params.max_depth || n < params.min_samples_split || impurity <= 1e-12;
+        if !make_leaf {
+            if let Some((feature, bin, gain)) =
+                best_split_hist(binned, crit, params, &hist, &node, impurity, rng)
+            {
+                let threshold = binned.threshold(feature, bin);
+                self.importances[feature] += gain * n as f64 / n_total as f64;
+                // Stable in-place partition on bin codes keeps rows in
+                // ascending order inside each child (cache-friendly
+                // histogram scans) and is deterministic.
+                let codes = binned.codes(feature);
+                ws.scratch.clear();
+                let mut w = 0;
+                for i in 0..n {
+                    let r = rows[i];
+                    if (codes[r] as usize) <= bin {
+                        rows[w] = r;
+                        w += 1;
+                    } else {
+                        ws.scratch.push(r);
+                    }
+                }
+                rows[w..].copy_from_slice(&ws.scratch);
+                let (left_rows, right_rows) = rows.split_at_mut(w);
+                // Sibling subtraction: scan only the smaller child; the
+                // larger child's histogram is parent − smaller, reusing
+                // the parent's buffer.
+                let left_smaller = left_rows.len() <= right_rows.len();
+                let mut small = ws.alloc();
+                build_hist(
+                    binned,
+                    crit,
+                    if left_smaller { &*left_rows } else { &*right_rows },
+                    &mut small,
+                );
+                let mut large = hist;
+                for (l, s) in large.iter_mut().zip(&small) {
+                    *l -= *s;
+                }
+                let (left_hist, right_hist) =
+                    if left_smaller { (small, large) } else { (large, small) };
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                let left = self.grow_hist(
+                    binned,
+                    crit,
+                    params,
+                    ws,
+                    left_rows,
+                    left_hist,
+                    depth + 1,
+                    n_total,
+                    rng,
+                );
+                let right = self.grow_hist(
+                    binned,
+                    crit,
+                    params,
+                    ws,
+                    right_rows,
+                    right_hist,
+                    depth + 1,
+                    n_total,
+                    rng,
+                );
+                if let Node::Split { left: l, right: r, .. } = &mut self.nodes[idx] {
+                    *l = left;
+                    *r = right;
+                }
+                return idx;
+            }
+        }
+        ws.release(hist);
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: crit.hist_leaf(&node) });
+        idx
     }
 
     /// Recursively grow a subtree; returns its root node index.
@@ -218,6 +508,36 @@ impl Cart {
     }
 }
 
+/// Candidate feature indices for one node: all features, or a partial
+/// Fisher–Yates sample of `k`. Shared by both split backends so they
+/// consume the per-tree RNG identically.
+fn sample_features(params: &CartParams, n_features: usize, rng: &mut StdRng) -> Vec<usize> {
+    match params.max_features {
+        Some(k) if k < n_features => {
+            let mut idx: Vec<usize> = (0..n_features).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n_features);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        }
+        _ => (0..n_features).collect(),
+    }
+}
+
+/// Total order on split values: NaN compares equal to NaN and greater
+/// than everything else, so every column scan places NaN rows in one
+/// deterministic block at the end regardless of input order.
+fn split_value_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both finite or infinite"),
+    }
+}
+
 /// Exhaustive best split over (subsampled) features.
 ///
 /// Returns `(feature, threshold, impurity_decrease, left_rows, right_rows)`.
@@ -231,26 +551,13 @@ fn best_split<C: Criterion>(
     rng: &mut StdRng,
 ) -> Option<(usize, f64, f64, Vec<usize>, Vec<usize>)> {
     let n = rows.len();
-    let n_features = columns.len();
-    let feature_idx: Vec<usize> = match params.max_features {
-        Some(k) if k < n_features => {
-            // Partial Fisher–Yates over feature indices.
-            let mut idx: Vec<usize> = (0..n_features).collect();
-            for i in 0..k {
-                let j = rng.gen_range(i..n_features);
-                idx.swap(i, j);
-            }
-            idx.truncate(k);
-            idx
-        }
-        _ => (0..n_features).collect(),
-    };
+    let feature_idx = sample_features(params, columns.len(), rng);
 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
     let mut sorted = rows.to_vec();
     for &f in &feature_idx {
         let col = &columns[f];
-        sorted.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|&a, &b| split_value_cmp(col[a], col[b]));
         let mut left = crit.stats(&[]);
         let mut right = crit.stats(&sorted);
         for (i, &r) in sorted.iter().enumerate().take(n - 1) {
@@ -258,8 +565,10 @@ fn best_split<C: Criterion>(
             crit.sub(&mut right, r);
             let n_left = i + 1;
             let n_right = n - n_left;
-            // Can't split between equal values.
-            if col[sorted[i]] == col[sorted[i + 1]] {
+            let (lo, hi) = (col[sorted[i]], col[sorted[i + 1]]);
+            // Can't split between equal values (NaN counts as equal to
+            // NaN: the missing block at the end is never split up).
+            if lo == hi || (lo.is_nan() && hi.is_nan()) {
                 continue;
             }
             if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
@@ -270,7 +579,10 @@ fn best_split<C: Criterion>(
                 / n as f64;
             let gain = parent_impurity - child;
             if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
-                let threshold = 0.5 * (col[sorted[i]] + col[sorted[i + 1]]);
+                // Between two finite values the threshold is their
+                // midpoint; at the finite|missing boundary it is the last
+                // finite value itself, which sends every NaN right.
+                let threshold = if hi.is_nan() { lo } else { 0.5 * (lo + hi) };
                 best = Some((f, threshold, gain));
             }
         }
@@ -280,6 +592,83 @@ fn best_split<C: Criterion>(
             rows.iter().partition(|&&r| columns[feature][r] <= threshold);
         (feature, threshold, gain, left_rows, right_rows)
     })
+}
+
+/// Histogram best split over (subsampled) features: scan bin boundaries
+/// with cumulative statistics; the missing bin (highest code) always
+/// stays on the right.
+///
+/// Returns `(feature, bin, impurity_decrease)` realising "code <= bin".
+fn best_split_hist<C: Criterion>(
+    binned: &BinnedMatrix,
+    crit: &C,
+    params: &CartParams,
+    hist: &[f64],
+    node: &[f64],
+    parent_impurity: f64,
+    rng: &mut StdRng,
+) -> Option<(usize, usize, f64)> {
+    let n = node[0] as usize;
+    let feature_idx = sample_features(params, binned.n_features(), rng);
+    let width = crit.hist_width();
+    let stride = binned.stride();
+    let mut best: Option<(usize, usize, f64)> = None;
+    let mut left = vec![0.0; width];
+    let mut right = vec![0.0; width];
+    for &f in &feature_idx {
+        let nb = binned.n_bins(f);
+        if nb == 0 {
+            continue; // all-NaN column: nothing to split on
+        }
+        left.fill(0.0);
+        right.copy_from_slice(node);
+        let base = f * stride * width;
+        for b in 0..nb {
+            let off = base + b * width;
+            if hist[off] == 0.0 {
+                // Empty bin: identical partition to the previous boundary.
+                continue;
+            }
+            for k in 0..width {
+                left[k] += hist[off + k];
+                right[k] -= hist[off + k];
+            }
+            let n_left = left[0] as usize;
+            let n_right = n - n_left;
+            if n_left == 0 || n_right == 0 {
+                continue;
+            }
+            if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                continue;
+            }
+            let child = (n_left as f64 * crit.hist_impurity(&left)
+                + n_right as f64 * crit.hist_impurity(&right))
+                / n as f64;
+            let gain = parent_impurity - child;
+            if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((f, b, gain));
+            }
+        }
+    }
+    best
+}
+
+/// Grow a tree with the backend selected by `params.split_method`,
+/// building a fresh [`BinnedMatrix`] in histogram mode.
+fn fit_cart<C: Criterion>(
+    columns: &[Vec<f64>],
+    crit: &C,
+    params: &CartParams,
+    rows: Vec<usize>,
+    rng: &mut StdRng,
+) -> Cart {
+    match params.split_method {
+        SplitMethod::Exact => Cart::fit(columns, crit, params, rows, rng),
+        SplitMethod::Histogram { max_bins } => {
+            let binned = BinnedMatrix::build(columns, max_bins);
+            Cart::fit_hist(&binned, crit, params, rows, rng)
+        }
+    }
 }
 
 /// A CART classifier. Fit on column-major features and integer labels.
@@ -302,7 +691,7 @@ impl DecisionTreeClassifier {
         let mut rng = fastft_tabular::rngx::rng(self.seed);
         let crit = GiniCriterion { y, n_classes };
         let rows: Vec<usize> = (0..y.len()).collect();
-        self.tree = Some(Cart::fit(columns, &crit, &self.params, rows, &mut rng));
+        self.tree = Some(fit_cart(columns, &crit, &self.params, rows, &mut rng));
         self.n_classes = n_classes;
     }
 
@@ -348,17 +737,33 @@ impl DecisionTreeRegressor {
 
     /// Fit on column-major features.
     pub fn fit(&mut self, columns: &[Vec<f64>], y: &[f64]) {
-        let mut rng = fastft_tabular::rngx::rng(self.seed);
-        let crit = VarCriterion { y };
         let rows: Vec<usize> = (0..y.len()).collect();
-        self.tree = Some(Cart::fit(columns, &crit, &self.params, rows, &mut rng));
+        self.fit_rows(columns, y, rows);
     }
 
     /// Fit restricted to a row subset (used by bagging and boosting).
     pub fn fit_rows(&mut self, columns: &[Vec<f64>], y: &[f64], rows: Vec<usize>) {
         let mut rng = fastft_tabular::rngx::rng(self.seed);
         let crit = VarCriterion { y };
-        self.tree = Some(Cart::fit(columns, &crit, &self.params, rows, &mut rng));
+        self.tree = Some(fit_cart(columns, &crit, &self.params, rows, &mut rng));
+    }
+
+    /// Histogram-mode fit over a prebuilt [`BinnedMatrix`] — bagging and
+    /// boosting bin the training matrix once and share it across trees,
+    /// rounds and classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was built with [`SplitMethod::Exact`]: exact
+    /// search needs raw columns, not bins.
+    pub fn fit_rows_prebinned(&mut self, binned: &BinnedMatrix, y: &[f64], rows: Vec<usize>) {
+        assert!(
+            matches!(self.params.split_method, SplitMethod::Histogram { .. }),
+            "fit_rows_prebinned requires SplitMethod::Histogram"
+        );
+        let mut rng = fastft_tabular::rngx::rng(self.seed);
+        let crit = VarCriterion { y };
+        self.tree = Some(Cart::fit_hist(binned, &crit, &self.params, rows, &mut rng));
     }
 
     /// Predicted value for one row.
@@ -389,7 +794,23 @@ pub(crate) fn fit_classifier_rows(
 ) -> DecisionTreeClassifier {
     let mut rng = fastft_tabular::rngx::rng(seed);
     let crit = GiniCriterion { y, n_classes };
-    let tree = Cart::fit(columns, &crit, params, rows, &mut rng);
+    let tree = fit_cart(columns, &crit, params, rows, &mut rng);
+    DecisionTreeClassifier { params: *params, seed, tree: Some(tree), n_classes }
+}
+
+/// Histogram-mode classification tree over a prebuilt [`BinnedMatrix`]
+/// shared across a forest's trees.
+pub(crate) fn fit_classifier_prebinned(
+    binned: &BinnedMatrix,
+    y: &[usize],
+    n_classes: usize,
+    params: &CartParams,
+    rows: Vec<usize>,
+    seed: u64,
+) -> DecisionTreeClassifier {
+    let mut rng = fastft_tabular::rngx::rng(seed);
+    let crit = GiniCriterion { y, n_classes };
+    let tree = Cart::fit_hist(binned, &crit, params, rows, &mut rng);
     DecisionTreeClassifier { params: *params, seed, tree: Some(tree), n_classes }
 }
 
@@ -515,5 +936,105 @@ mod tests {
     fn argmax_first_on_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
         assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    fn exact_params() -> CartParams {
+        CartParams { split_method: SplitMethod::Exact, ..CartParams::default() }
+    }
+
+    #[test]
+    fn exact_split_is_row_order_independent_with_nans() {
+        // Regression test: the old exact path compared values with
+        // `partial_cmp(..).unwrap_or(Equal)`, so the sort placed NaNs
+        // wherever the incoming row order happened to leave them and the
+        // fitted tree depended on row *order*, not just the row *set*.
+        let x = vec![f64::NAN, 1.0, f64::NAN, 2.0, 3.0, f64::NAN, 4.0, 5.0, 6.0, 7.0];
+        let y = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0];
+        let cols = vec![x];
+        let params = CartParams { min_samples_leaf: 1, ..exact_params() };
+
+        let mut forward = DecisionTreeRegressor::new(params, 0);
+        forward.fit_rows(&cols, &y, (0..y.len()).collect());
+        let mut reversed = DecisionTreeRegressor::new(params, 0);
+        reversed.fit_rows(&cols, &y, (0..y.len()).rev().collect());
+
+        for probe in [f64::NAN, 0.5, 1.5, 3.5, 4.5, 6.5] {
+            let a = forward.predict_row(&[probe]);
+            let b = reversed.predict_row(&[probe]);
+            assert_eq!(a.to_bits(), b.to_bits(), "probe {probe} differs: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn nan_rows_route_right_in_both_modes() {
+        // Feature is informative except for NaN rows, which all carry the
+        // high label; both backends must learn "missing -> right branch".
+        let mut x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        for _ in 0..10 {
+            x.push(f64::NAN);
+            y.push(1);
+        }
+        for params in [exact_params(), CartParams::default()] {
+            let mut t = DecisionTreeClassifier::new(params, 0);
+            t.fit(&[x.clone()], &y, 2);
+            assert_eq!(t.predict_row(&[f64::NAN]), 1, "{:?}", params.split_method);
+            assert_eq!(t.predict_row(&[3.0]), 0, "{:?}", params.split_method);
+        }
+    }
+
+    #[test]
+    fn histogram_matches_exact_when_bins_cover_all_values() {
+        // With distinct values <= max_bins every bin holds one distinct
+        // value, so the histogram scans the same candidate partitions as
+        // the exact search with the same feature-sampling RNG and the same
+        // ascending / first-strictly-greater tie-breaking. The two trees
+        // partition the training set identically (interior thresholds may
+        // sit at different points of the same value gap, so only training
+        // rows — never off-grid probes — are compared).
+        let (cols, y) = xor_data(200, 7);
+        let mut exact = DecisionTreeClassifier::new(exact_params(), 0);
+        exact.fit(&cols, &y, 2);
+        let mut hist = DecisionTreeClassifier::new(CartParams::default(), 0);
+        hist.fit(&cols, &y, 2);
+
+        assert_eq!(exact.n_nodes(), hist.n_nodes());
+        for (i, row) in cols[0].iter().zip(&cols[1]).map(|(&a, &b)| [a, b]).enumerate() {
+            assert_eq!(exact.predict_proba_row(&row), hist.predict_proba_row(&row), "row {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_regressor_learns_step_with_coarse_bins() {
+        let cols = vec![(0..2000).map(|i| (i % 500) as f64).collect::<Vec<_>>()];
+        let y: Vec<f64> = cols[0].iter().map(|&v| if v < 250.0 { 1.0 } else { 5.0 }).collect();
+        let params = CartParams {
+            split_method: SplitMethod::Histogram { max_bins: 16 },
+            ..CartParams::default()
+        };
+        let mut t = DecisionTreeRegressor::new(params, 0);
+        t.fit(&cols, &y);
+        assert!((t.predict_row(&[10.0]) - 1.0).abs() < 0.2);
+        assert!((t.predict_row(&[400.0]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn prebinned_fit_matches_per_tree_binning() {
+        let (cols, y_cls) = xor_data(150, 9);
+        let y: Vec<f64> = y_cls.iter().map(|&c| c as f64).collect();
+        let params = CartParams::default();
+        let SplitMethod::Histogram { max_bins } = params.split_method else {
+            panic!("default must be histogram")
+        };
+        let binned = BinnedMatrix::build(&cols, max_bins);
+
+        let mut auto = DecisionTreeRegressor::new(params, 42);
+        auto.fit(&cols, &y);
+        let mut pre = DecisionTreeRegressor::new(params, 42);
+        pre.fit_rows_prebinned(&binned, &y, (0..y.len()).collect());
+
+        for row in cols[0].iter().zip(&cols[1]).map(|(&a, &b)| [a, b]) {
+            assert_eq!(auto.predict_row(&row).to_bits(), pre.predict_row(&row).to_bits());
+        }
     }
 }
