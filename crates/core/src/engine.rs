@@ -23,6 +23,7 @@ use crate::novelty::NoveltyEstimator;
 use crate::novelty_metric::NoveltyTracker;
 use crate::ops::Op;
 use crate::predictor::{PerformancePredictor, PredictorConfig};
+use crate::scoring::BATCH_HIST_BUCKETS;
 use crate::sequence::{canonical_key, encode_feature_set, TokenVocab};
 use crate::state;
 use crate::transform::FeatureSet;
@@ -81,6 +82,24 @@ pub struct Telemetry {
     /// Memo-cache entries evicted to respect
     /// [`FastFtConfig::eval_cache_capacity`].
     pub cache_evictions: usize,
+    /// Wall time inside Performance-Predictor inference (subset of
+    /// `estimation_secs`).
+    pub predictor_secs: f64,
+    /// Wall time inside Novelty-Estimator inference (subset of
+    /// `estimation_secs`).
+    pub novelty_secs: f64,
+    /// Scoring calls answered from a cached encoder prefix state.
+    pub prefix_hits: u64,
+    /// Scoring calls that encoded their sequence from scratch.
+    pub prefix_misses: u64,
+    /// Prefix-cache states evicted to respect
+    /// [`FastFtConfig::prefix_cache_capacity`].
+    pub prefix_evictions: u64,
+    /// Batched scoring calls issued by the step loop.
+    pub score_batches: u64,
+    /// Histogram of scoring batch sizes (bucket `i` = size `i + 1`, last
+    /// bucket = `≥ 8`).
+    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 /// Result of a FASTFT run.
@@ -212,7 +231,12 @@ struct Run<'a> {
 impl<'a> Run<'a> {
     fn new(cfg: &'a FastFtConfig, data: &'a Dataset) -> Self {
         let vocab = TokenVocab::new(data.n_features());
-        let pc = PredictorConfig { dim: 32, encoder: cfg.encoder, lr: cfg.lr };
+        let pc = PredictorConfig {
+            dim: 32,
+            encoder: cfg.encoder,
+            lr: cfg.lr,
+            prefix_cache: cfg.prefix_cache_capacity,
+        };
         let mut agents = CascadingAgents::new(cfg.rl, cfg.agent_hidden, cfg.agent_lr, cfg.seed);
         agents.gamma = cfg.gamma;
         let memory = if cfg.prioritized_replay {
@@ -395,8 +419,14 @@ impl<'a> Run<'a> {
                     let mut nov = 0.0;
                     if self.cfg.use_novelty && episode >= self.cfg.cold_start_episodes {
                         let t_est = Instant::now();
-                        nov = self.novelty.novelty(&seq);
-                        self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
+                        nov = if self.cfg.batched_scoring {
+                            self.novelty.novelty_cached(&seq)
+                        } else {
+                            self.novelty.novelty(&seq)
+                        };
+                        let elapsed = t_est.elapsed().as_secs_f64();
+                        self.telemetry.novelty_secs += elapsed;
+                        self.telemetry.estimation_secs += elapsed;
                         self.telemetry.predictor_calls += 1;
                         let normed = self.normalize_novelty(nov);
                         r += novelty_weight.at(self.global_step) * normed;
@@ -404,11 +434,31 @@ impl<'a> Run<'a> {
                     }
                     (v, r, false, nov)
                 } else {
-                    let t_est = Instant::now();
-                    let pred = self.predictor.predict(&seq);
-                    let pred_prev = self.predictor.predict(&prev_seq);
-                    let nov = if self.cfg.use_novelty { self.novelty.novelty(&seq) } else { 0.0 };
-                    self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
+                    // Batched scoring runs the same fused kernels in the
+                    // same summation order as the per-sequence path, so both
+                    // branches are bitwise identical
+                    // (`batched_scoring_matches_unbatched`).
+                    let t_pred = Instant::now();
+                    let (pred, pred_prev) = if self.cfg.batched_scoring {
+                        let mut out = [0.0; 2];
+                        self.predictor.predict_batch(&[&seq, &prev_seq], &mut out);
+                        (out[0], out[1])
+                    } else {
+                        (self.predictor.predict(&seq), self.predictor.predict(&prev_seq))
+                    };
+                    let pred_elapsed = t_pred.elapsed().as_secs_f64();
+                    self.telemetry.predictor_secs += pred_elapsed;
+                    let t_nov = Instant::now();
+                    let nov = if !self.cfg.use_novelty {
+                        0.0
+                    } else if self.cfg.batched_scoring {
+                        self.novelty.novelty_cached(&seq)
+                    } else {
+                        self.novelty.novelty(&seq)
+                    };
+                    let nov_elapsed = t_nov.elapsed().as_secs_f64();
+                    self.telemetry.novelty_secs += nov_elapsed;
+                    self.telemetry.estimation_secs += pred_elapsed + nov_elapsed;
                     self.telemetry.predictor_calls += 2;
                     // Eq. 6, with the novelty bonus std-normalised so the
                     // two terms share a scale.
@@ -489,6 +539,12 @@ impl<'a> Run<'a> {
             episode_best.push(best_score);
         }
 
+        let s = self.predictor.stats().merge(&self.novelty.stats());
+        self.telemetry.prefix_hits = s.prefix_hits;
+        self.telemetry.prefix_misses = s.prefix_misses;
+        self.telemetry.prefix_evictions = s.evictions;
+        self.telemetry.score_batches = s.batches;
+        self.telemetry.batch_size_hist = s.batch_hist;
         self.telemetry.total_secs = t_start.elapsed().as_secs_f64();
         Ok(RunResult {
             base_score,
@@ -516,20 +572,42 @@ impl<'a> Run<'a> {
         self.telemetry.optimization_secs += t_opt.elapsed().as_secs_f64();
     }
 
+    /// Train the components on `items` in order: one Adam step per sample
+    /// when `cfg.minibatch == 0` (the paper's schedule), averaged-gradient
+    /// steps over `cfg.minibatch`-sized chunks otherwise.
+    fn train_components_on(&mut self, items: &[(Vec<usize>, f64)], train_novelty: bool) {
+        if self.cfg.minibatch > 0 {
+            for chunk in items.chunks(self.cfg.minibatch) {
+                let batch: Vec<(&[usize], f64)> =
+                    chunk.iter().map(|(s, v)| (s.as_slice(), *v)).collect();
+                if self.cfg.use_predictor {
+                    self.predictor.train_minibatch(&batch, &self.runtime);
+                }
+                if train_novelty && self.cfg.use_novelty {
+                    let seqs: Vec<&[usize]> = batch.iter().map(|&(s, _)| s).collect();
+                    self.novelty.train_minibatch(&seqs, &self.runtime);
+                }
+            }
+        } else {
+            for (seq, v) in items {
+                if self.cfg.use_predictor {
+                    self.predictor.train_step(seq, *v);
+                }
+                if train_novelty && self.cfg.use_novelty {
+                    self.novelty.train_step(seq);
+                }
+            }
+        }
+    }
+
     /// Alg. 1 lines 14–19: initial training of both components from the
     /// cold-start collection.
     fn train_components_cold_start(&mut self) {
         let t_est = Instant::now();
         let passes = self.cfg.retrain_epochs.max(1);
+        let history = self.eval_history.clone();
         for _ in 0..passes {
-            for (seq, v) in &self.eval_history {
-                if self.cfg.use_predictor {
-                    self.predictor.train_step(seq, *v);
-                }
-                if self.cfg.use_novelty {
-                    self.novelty.train_step(seq);
-                }
-            }
+            self.train_components_on(&history, true);
         }
         self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
     }
@@ -538,25 +616,22 @@ impl<'a> Run<'a> {
     /// (uniform samples).
     fn finetune_components(&mut self) {
         let t_est = Instant::now();
+        // Draw every uniform sample before training: sampling consumes the
+        // run RNG identically whether the steps below are per-sample or
+        // minibatched, so `cfg.minibatch` never shifts the decision stream.
+        let mut sampled = Vec::with_capacity(self.cfg.retrain_epochs);
         for _ in 0..self.cfg.retrain_epochs {
             if let Some(mem) = self.memory.sample_uniform(&mut self.rng) {
-                let (seq, v) = (mem.seq.clone(), mem.perf);
-                if self.cfg.use_predictor {
-                    self.predictor.train_step(&seq, v);
-                }
-                if self.cfg.use_novelty {
-                    self.novelty.train_step(&seq);
-                }
+                sampled.push((mem.seq.clone(), mem.perf));
             }
         }
+        self.train_components_on(&sampled, true);
         // Anchor the predictor on real downstream results as well, so
         // estimated rewards cannot drift from evaluated ones.
         if self.cfg.use_predictor {
             let recent = self.eval_history.len().saturating_sub(self.cfg.retrain_epochs);
             let tail: Vec<(Vec<usize>, f64)> = self.eval_history[recent..].to_vec();
-            for (seq, v) in &tail {
-                self.predictor.train_step(seq, *v);
-            }
+            self.train_components_on(&tail, false);
         }
         self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
     }
@@ -716,6 +791,49 @@ mod tests {
         }
         assert_eq!(serial.telemetry.downstream_evals, pooled.telemetry.downstream_evals);
         assert_eq!(serial.telemetry.cache_hits, pooled.telemetry.cache_hits);
+    }
+
+    #[test]
+    fn batched_scoring_matches_unbatched() {
+        let data = small_data("pima_indian", 120, 18);
+        let batched = FastFt::new(tiny_cfg()).fit(&data).unwrap();
+        let mut cfg = tiny_cfg();
+        cfg.batched_scoring = false;
+        cfg.prefix_cache_capacity = 0;
+        let plain = FastFt::new(cfg).fit(&data).unwrap();
+        assert_eq!(batched.best_score, plain.best_score);
+        assert_eq!(batched.records.len(), plain.records.len());
+        for (a, b) in batched.records.iter().zip(&plain.records) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.reward, b.reward);
+            assert_eq!(a.novelty, b.novelty);
+            assert_eq!(a.new_exprs, b.new_exprs);
+        }
+        assert_eq!(batched.telemetry.downstream_evals, plain.telemetry.downstream_evals);
+        let t = batched.telemetry;
+        assert!(t.score_batches > 0, "warm steps should batch");
+        assert!(t.prefix_hits + t.prefix_misses > 0, "cached scoring should run");
+        assert_eq!(t.batch_size_hist.iter().sum::<u64>(), t.score_batches);
+        let p = plain.telemetry;
+        assert_eq!(p.score_batches, 0);
+        assert_eq!(p.prefix_hits + p.prefix_misses, 0);
+    }
+
+    #[test]
+    fn minibatch_run_identical_across_thread_counts() {
+        let data = small_data("pima_indian", 120, 19);
+        let mut cfg = tiny_cfg();
+        cfg.minibatch = 4;
+        let serial = FastFt::new(cfg.clone()).fit(&data).unwrap();
+        cfg.threads = 4;
+        let pooled = FastFt::new(cfg).fit(&data).unwrap();
+        assert_eq!(serial.best_score, pooled.best_score);
+        assert_eq!(serial.records.len(), pooled.records.len());
+        for (a, b) in serial.records.iter().zip(&pooled.records) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.reward, b.reward);
+            assert_eq!(a.new_exprs, b.new_exprs);
+        }
     }
 
     #[test]

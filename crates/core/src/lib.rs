@@ -43,6 +43,7 @@ pub mod ops;
 pub mod parse;
 pub mod predictor;
 pub mod report;
+pub mod scoring;
 pub mod search_stats;
 pub mod sequence;
 pub mod state;

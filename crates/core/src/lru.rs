@@ -66,6 +66,15 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.evictions
     }
 
+    /// Drop every entry, keeping the configured capacity and the cumulative
+    /// eviction counter (a `clear` is an invalidation, not an eviction).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Look up `key`, marking it most recently used on a hit.
     pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
     where
@@ -203,6 +212,23 @@ mod tests {
         assert!(c.get(&1).is_none());
         assert_eq!(c.get(&2), Some(&20));
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30); // evicts 1
+        assert_eq!(c.evictions(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.evictions(), 1, "clear is not an eviction");
+        assert!(c.get(&2).is_none());
+        // Reusable after clearing.
+        c.insert(4, 40);
+        assert_eq!(c.get(&4), Some(&40));
     }
 
     #[test]

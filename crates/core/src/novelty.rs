@@ -9,13 +9,17 @@
 //! bonus.
 
 use crate::predictor::PredictorConfig;
+use crate::scoring::{PrefixCache, ScoreStats};
 use fastft_nn::SequenceRegressor;
+use fastft_runtime::Runtime;
 
 /// RND novelty estimator: trained estimator + frozen orthogonal target.
 #[derive(Debug, Clone)]
 pub struct NoveltyEstimator {
     estimator: SequenceRegressor,
     target: SequenceRegressor,
+    est_cache: PrefixCache,
+    tgt_cache: PrefixCache,
 }
 
 impl NoveltyEstimator {
@@ -42,22 +46,70 @@ impl NoveltyEstimator {
             Self::TARGET_GAIN,
             seed.wrapping_add(0x5eed),
         );
-        NoveltyEstimator { estimator, target }
+        NoveltyEstimator {
+            estimator,
+            target,
+            est_cache: PrefixCache::new(cfg.prefix_cache),
+            tgt_cache: PrefixCache::new(cfg.prefix_cache),
+        }
     }
 
     /// Novelty score of a sequence: squared distillation error
     /// `(ψ(T) − ψ⊥(T))²`. High on unseen structures, low on familiar ones.
     pub fn novelty(&self, seq: &[usize]) -> f64 {
-        let e = self.estimator.predict(seq)[0];
-        let t = self.target.predict(seq)[0];
-        (e - t) * (e - t)
+        let mut e = [0.0];
+        let mut t = [0.0];
+        self.estimator.predict_into(seq, &mut e);
+        self.target.predict_into(seq, &mut t);
+        (e[0] - t[0]) * (e[0] - t[0])
+    }
+
+    /// [`novelty`], but reusing cached encoder prefix states for both
+    /// networks. Bitwise identical to the uncached path.
+    ///
+    /// [`novelty`]: NoveltyEstimator::novelty
+    pub fn novelty_cached(&mut self, seq: &[usize]) -> f64 {
+        let mut e = [0.0];
+        let mut t = [0.0];
+        self.est_cache.score_into(&self.estimator, seq, &mut e);
+        self.tgt_cache.score_into(&self.target, seq, &mut t);
+        (e[0] - t[0]) * (e[0] - t[0])
     }
 
     /// One distillation step on a seen sequence (Eq. 4); returns the
     /// pre-update squared error.
     pub fn train_step(&mut self, seq: &[usize]) -> f64 {
-        let t = self.target.predict(seq);
-        self.estimator.train_step(seq, &t)
+        // The target is frozen, so its cache survives training; only the
+        // estimator's states go stale.
+        let mut t = [0.0];
+        self.tgt_cache.score_into(&self.target, seq, &mut t);
+        let loss = self.estimator.train_step(seq, &t);
+        self.est_cache.invalidate();
+        loss
+    }
+
+    /// One averaged-gradient distillation step over a minibatch of seen
+    /// sequences; returns the mean pre-update squared error. Deterministic
+    /// for any worker count.
+    pub fn train_minibatch(&mut self, seqs: &[&[usize]], runtime: &Runtime) -> f64 {
+        let targets: Vec<[f64; 1]> = seqs
+            .iter()
+            .map(|s| {
+                let mut t = [0.0];
+                self.tgt_cache.score_into(&self.target, s, &mut t);
+                t
+            })
+            .collect();
+        let batch: Vec<(&[usize], &[f64])> =
+            seqs.iter().zip(targets.iter()).map(|(&s, t)| (s, t.as_slice())).collect();
+        let loss = self.estimator.train_minibatch(&batch, runtime);
+        self.est_cache.invalidate();
+        loss
+    }
+
+    /// Prefix-cache / batching counters, merged across both networks.
+    pub fn stats(&self) -> ScoreStats {
+        self.est_cache.stats().merge(&self.tgt_cache.stats())
     }
 
     /// Parameter count of both networks.

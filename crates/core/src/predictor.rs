@@ -6,7 +6,9 @@
 //! architecture (§V): embedding dim 32, 2 stacked LSTM layers, FC head
 //! 16 → 1.
 
+use crate::scoring::{PrefixCache, ScoreStats};
 use fastft_nn::{EncoderKind, SequenceRegressor};
+use fastft_runtime::Runtime;
 
 /// Architecture hyperparameters for the predictor (and estimator encoder).
 #[derive(Debug, Clone, Copy)]
@@ -17,11 +19,18 @@ pub struct PredictorConfig {
     pub encoder: EncoderKind,
     /// Adam learning rate.
     pub lr: f64,
+    /// Prefix-state cache capacity for cached scoring (0 = disabled).
+    pub prefix_cache: usize,
 }
 
 impl Default for PredictorConfig {
     fn default() -> Self {
-        PredictorConfig { dim: 32, encoder: EncoderKind::Lstm { layers: 2 }, lr: 1e-3 }
+        PredictorConfig {
+            dim: 32,
+            encoder: EncoderKind::Lstm { layers: 2 },
+            lr: 1e-3,
+            prefix_cache: 256,
+        }
     }
 }
 
@@ -29,6 +38,7 @@ impl Default for PredictorConfig {
 #[derive(Debug, Clone)]
 pub struct PerformancePredictor {
     net: SequenceRegressor,
+    cache: PrefixCache,
 }
 
 impl PerformancePredictor {
@@ -37,19 +47,57 @@ impl PerformancePredictor {
         // FC head 16 → 1 per the paper.
         let net =
             SequenceRegressor::new(vocab, cfg.dim, cfg.dim, cfg.encoder, &[16, 1], cfg.lr, seed);
-        PerformancePredictor { net }
+        PerformancePredictor { net, cache: PrefixCache::new(cfg.prefix_cache) }
     }
 
     /// Predicted downstream performance ("pseudo-performance") of a token
     /// sequence.
     pub fn predict(&self, seq: &[usize]) -> f64 {
-        self.net.predict(seq)[0]
+        let mut out = [0.0];
+        self.net.predict_into(seq, &mut out);
+        out[0]
+    }
+
+    /// [`predict`], but reusing cached encoder prefix states. Bitwise
+    /// identical to the uncached path; only wall time changes.
+    ///
+    /// [`predict`]: PerformancePredictor::predict
+    pub fn predict_cached(&mut self, seq: &[usize]) -> f64 {
+        let mut out = [0.0];
+        self.cache.score_into(&self.net, seq, &mut out);
+        out[0]
+    }
+
+    /// Score several sequences in one call (`out[i]` ← prediction for
+    /// `seqs[i]`), through the prefix cache when enabled.
+    pub fn predict_batch(&mut self, seqs: &[&[usize]], out: &mut [f64]) {
+        self.cache.score_batch_into(&self.net, seqs, out);
     }
 
     /// One MSE training step toward an observed performance; returns the
     /// pre-update loss (Eq. 3 summand).
     pub fn train_step(&mut self, seq: &[usize], performance: f64) -> f64 {
-        self.net.train_step(seq, &[performance])
+        let loss = self.net.train_step(seq, &[performance]);
+        // Weights moved: every cached encoder state is stale.
+        self.cache.invalidate();
+        loss
+    }
+
+    /// One averaged-gradient Adam step over a minibatch of
+    /// (sequence, performance) pairs; returns the mean pre-update loss.
+    /// Deterministic for any worker count.
+    pub fn train_minibatch(&mut self, items: &[(&[usize], f64)], runtime: &Runtime) -> f64 {
+        let targets: Vec<[f64; 1]> = items.iter().map(|&(_, p)| [p]).collect();
+        let batch: Vec<(&[usize], &[f64])> =
+            items.iter().zip(targets.iter()).map(|(&(s, _), t)| (s, t.as_slice())).collect();
+        let loss = self.net.train_minibatch(&batch, runtime);
+        self.cache.invalidate();
+        loss
+    }
+
+    /// Prefix-cache / batching counters.
+    pub fn stats(&self) -> ScoreStats {
+        self.cache.stats()
     }
 
     /// Parameter count (Fig. 11 memory accounting).

@@ -32,6 +32,30 @@ pub fn summary(result: &RunResult) -> String {
         "time       : {:.2}s total = {:.2}s evaluation + {:.2}s estimation + {:.2}s optimization (+ rest)",
         t.total_secs, t.evaluation_secs, t.estimation_secs, t.optimization_secs
     );
+    let _ = writeln!(
+        s,
+        "scoring    : {:.2}s predictor + {:.2}s novelty; {} batches, prefix cache {} hits / {} misses / {} evictions",
+        t.predictor_secs,
+        t.novelty_secs,
+        t.score_batches,
+        t.prefix_hits,
+        t.prefix_misses,
+        t.prefix_evictions
+    );
+    if t.score_batches > 0 {
+        let _ = write!(s, "batch sizes:");
+        for (i, n) in t.batch_size_hist.iter().enumerate() {
+            if *n > 0 {
+                let label = if i + 1 == t.batch_size_hist.len() {
+                    format!("≥{}", i + 1)
+                } else {
+                    format!("{}", i + 1)
+                };
+                let _ = write!(s, " {label}×{n}");
+            }
+        }
+        let _ = writeln!(s);
+    }
     let _ = writeln!(s, "feature set:");
     for e in &result.best_exprs {
         let _ = writeln!(s, "  {e}");
@@ -173,5 +197,6 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + result.records.len());
         let s = summary(&result);
         assert!(s.contains("best score"));
+        assert!(s.contains("scoring"), "summary should report scoring counters:\n{s}");
     }
 }

@@ -4,11 +4,16 @@
 //!
 //! Gate layout inside the fused weights is `[r | z | n]` (reset, update,
 //! candidate), with the PyTorch-style candidate
-//! `n = tanh(x Wxn + r ⊙ (h Whn) + bn)`.
+//! `n = tanh(x Wxn + r ⊙ (h Whn) + bn)`. Like the LSTM, the input projection
+//! `Zx = b ⊕ X Wx` is hoisted out of the time loop as one GEMM, each step
+//! adds a single recurrent GEMM (`Zh = h_prev Wh`), and scratch comes from a
+//! pooled [`NnWorkspace`]. Batched lanes and [`LayerState`] resume are
+//! supported for the prefix-cached scoring path.
 
 use crate::activation::sigmoid;
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
+use crate::workspace::{LayerState, NnWorkspace};
 use fastft_tabular::rngx::StdRng;
 
 /// One GRU layer.
@@ -27,11 +32,11 @@ pub struct GruLayer {
 #[derive(Debug, Clone)]
 struct Cache {
     x: Matrix,
-    /// Per step: `[r | z | n]` activated gates (3H).
-    gates: Vec<Vec<f64>>,
-    /// Per step: `h Whn` pre-reset recurrent candidate contribution (H).
-    hn_lin: Vec<Vec<f64>>,
-    hiddens: Vec<Vec<f64>>,
+    /// T × 3H: `[r | z | n]` activated gates.
+    gates: Matrix,
+    /// T × H: `h Whn` pre-reset recurrent candidate contribution.
+    hn_lin: Matrix,
+    hiddens: Matrix,
 }
 
 impl GruLayer {
@@ -51,96 +56,144 @@ impl GruLayer {
         self.hidden
     }
 
-    fn run(&self, x: &Matrix, keep: bool) -> (Matrix, Option<Cache>) {
-        let t_len = x.rows;
+    /// Fused forward; see [`crate::lstm::LstmLayer`] for the time-major lane
+    /// packing and resume conventions.
+    fn run(
+        &self,
+        x: &Matrix,
+        batch: usize,
+        init: Option<&[&LayerState]>,
+        keep: bool,
+        states_out: Option<&mut Vec<LayerState>>,
+        ws: &mut NnWorkspace,
+    ) -> (Matrix, Option<Cache>) {
         let h = self.hidden;
-        let mut out = Matrix::zeros(t_len, h);
-        let mut gates_v = Vec::with_capacity(t_len);
-        let mut hn_v = Vec::with_capacity(t_len);
-        let mut hs = Vec::with_capacity(t_len);
-        let mut h_prev = vec![0.0; h];
-        for t in 0..t_len {
-            // zx = x Wx + b ; zh = h_prev Wh
-            let mut zx = self.b.value.data.clone();
-            for (k, &xv) in x.row(t).iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                for (zv, &wv) in zx.iter_mut().zip(self.wx.value.row(k)) {
-                    *zv += xv * wv;
-                }
-            }
-            let mut zh = vec![0.0; 3 * h];
-            for (k, &hv) in h_prev.iter().enumerate() {
-                if hv == 0.0 {
-                    continue;
-                }
-                for (zv, &wv) in zh.iter_mut().zip(self.wh.value.row(k)) {
-                    *zv += hv * wv;
-                }
-            }
-            let mut gates = vec![0.0; 3 * h];
-            let mut hn_lin = vec![0.0; h];
-            let mut h_t = vec![0.0; h];
-            for j in 0..h {
-                let r = sigmoid(zx[j] + zh[j]);
-                let z = sigmoid(zx[h + j] + zh[h + j]);
-                hn_lin[j] = zh[2 * h + j];
-                let n = (zx[2 * h + j] + r * hn_lin[j]).tanh();
-                gates[j] = r;
-                gates[h + j] = z;
-                gates[2 * h + j] = n;
-                h_t[j] = (1.0 - z) * n + z * h_prev[j];
-            }
-            out.row_mut(t).copy_from_slice(&h_t);
-            if keep {
-                gates_v.push(gates);
-                hn_v.push(hn_lin);
-                hs.push(h_t.clone());
-            }
-            h_prev = h_t;
+        let g = 3 * h;
+        let rows = x.rows;
+        assert!(
+            batch >= 1 && rows.is_multiple_of(batch),
+            "rows {rows} not a multiple of batch {batch}"
+        );
+        let t_len = rows / batch;
+        if keep {
+            assert!(batch == 1 && init.is_none(), "training path is batch-of-one from t = 0");
         }
-        let cache = keep.then(|| Cache { x: x.clone(), gates: gates_v, hn_lin: hn_v, hiddens: hs });
+        // Input projection hoisted over the whole sequence: Zx = b ⊕ X Wx.
+        let mut zx = ws.take_matrix(rows, g);
+        for r in 0..rows {
+            zx.row_mut(r).copy_from_slice(&self.b.value.data);
+        }
+        self.wx.value.addmm_into(&x.data, rows, &mut zx.data);
+        let mut h_prev = ws.take(batch * h);
+        if let Some(states) = init {
+            assert_eq!(states.len(), batch, "one init state per lane");
+            for (bi, st) in states.iter().enumerate() {
+                h_prev[bi * h..(bi + 1) * h].copy_from_slice(&st.h);
+            }
+        }
+        let mut zh = ws.take(batch * g);
+        let mut out = ws.take_matrix(rows, h);
+        let mut hn_all = if keep { Some(ws.take_matrix(t_len, h)) } else { None };
+        for t in 0..t_len {
+            // Recurrent GEMM for this step's lanes: Zh = h_prev Wh.
+            zh.iter_mut().for_each(|v| *v = 0.0);
+            self.wh.value.addmm_into(&h_prev, batch, &mut zh);
+            let zx_rows = &mut zx.data[t * batch * g..(t + 1) * batch * g];
+            for bi in 0..batch {
+                let zxr = &mut zx_rows[bi * g..(bi + 1) * g];
+                let zhr = &zh[bi * g..(bi + 1) * g];
+                let hp = &mut h_prev[bi * h..(bi + 1) * h];
+                for j in 0..h {
+                    let r = sigmoid(zxr[j] + zhr[j]);
+                    let z = sigmoid(zxr[h + j] + zhr[h + j]);
+                    let hn_lin = zhr[2 * h + j];
+                    let n = (zxr[2 * h + j] + r * hn_lin).tanh();
+                    zxr[j] = r;
+                    zxr[h + j] = z;
+                    zxr[2 * h + j] = n;
+                    hp[j] = (1.0 - z) * n + z * hp[j];
+                }
+                out.row_mut(t * batch + bi).copy_from_slice(&h_prev[bi * h..(bi + 1) * h]);
+                if let Some(hn_all) = hn_all.as_mut() {
+                    // keep ⇒ batch == 1, so row t belongs to this lane.
+                    hn_all.row_mut(t).copy_from_slice(&zhr[2 * h..]);
+                }
+            }
+        }
+        if let Some(states) = states_out {
+            for bi in 0..batch {
+                states.push(LayerState { h: h_prev[bi * h..(bi + 1) * h].to_vec(), c: Vec::new() });
+            }
+        }
+        ws.give(h_prev);
+        ws.give(zh);
+        let cache = if keep {
+            // Pool-backed snapshots keep repeated train steps allocation-free.
+            let xc = ws.take_copy(x);
+            let hc = ws.take_copy(&out);
+            Some(Cache { x: xc, gates: zx, hn_lin: hn_all.unwrap(), hiddens: hc })
+        } else {
+            ws.give_matrix(zx);
+            None
+        };
         (out, cache)
     }
 
     /// Forward with caches.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let (out, cache) = self.run(x, true);
+        let mut ws = NnWorkspace::new();
+        self.forward_ws(x, &mut ws)
+    }
+
+    /// [`GruLayer::forward`] drawing scratch from a shared workspace.
+    pub fn forward_ws(&mut self, x: &Matrix, ws: &mut NnWorkspace) -> Matrix {
+        let (out, cache) = self.run(x, 1, None, true, None, ws);
         self.cache = cache;
         out
     }
 
     /// Inference-only forward.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        self.run(x, false).0
+        let mut ws = NnWorkspace::new();
+        self.run(x, 1, None, false, None, &mut ws).0
     }
 
     /// BPTT; accumulates parameter gradients, returns `dX`.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut ws = NnWorkspace::new();
+        self.backward_ws(d_out, &mut ws)
+    }
+
+    /// [`GruLayer::backward`] drawing scratch from a shared workspace. The
+    /// per-step loop fills `dzx_t`/`dzh_t` rows and propagates `dh`; the
+    /// parameter gradients are hoisted into whole-sequence GEMMs afterwards
+    /// (`dWx += Xᵀ dZx`, `dWh += H[..T-1]ᵀ dZh[1..]`, `db += Σ_t dzx_t`,
+    /// `dX = dZx Wxᵀ`).
+    pub fn backward_ws(&mut self, d_out: &Matrix, ws: &mut NnWorkspace) -> Matrix {
         let cache = self.cache.take().expect("forward before backward");
         let t_len = cache.x.rows;
+        assert_eq!(d_out.rows, t_len);
         let h = self.hidden;
-        let mut dx = Matrix::zeros(t_len, cache.x.cols);
-        let mut dh_next = vec![0.0; h];
+        let g = 3 * h;
+        // dzx over [r z n], dzh over [r z n] where the n-slot of zh is
+        // multiplied by r inside the candidate.
+        let mut dzx_all = ws.take_matrix(t_len, g);
+        let mut dzh_all = ws.take_matrix(t_len, g);
+        let mut dh_next = ws.take(h);
         for t in (0..t_len).rev() {
-            let gates = &cache.gates[t];
-            let hn_lin = &cache.hn_lin[t];
-            let h_prev: Vec<f64> = if t == 0 { vec![0.0; h] } else { cache.hiddens[t - 1].clone() };
-            // dzx over [r z n], dzh over [r z n] where the n-slot of zh is
-            // multiplied by r inside the candidate.
-            let mut dzx = vec![0.0; 3 * h];
-            let mut dzh = vec![0.0; 3 * h];
-            let mut dh_prev_direct = vec![0.0; h];
+            let gates = cache.gates.row(t);
+            let hn_lin = cache.hn_lin.row(t);
+            let dzx = &mut dzx_all.data[t * g..(t + 1) * g];
+            let dzh = &mut dzh_all.data[t * g..(t + 1) * g];
             for j in 0..h {
                 let dh = d_out[(t, j)] + dh_next[j];
                 let r = gates[j];
                 let z = gates[h + j];
                 let n = gates[2 * h + j];
+                let h_prev = if t == 0 { 0.0 } else { cache.hiddens[(t - 1, j)] };
                 // h = (1-z) n + z h_prev
-                let dz = dh * (h_prev[j] - n);
+                let dz = dh * (h_prev - n);
                 let dn = dh * (1.0 - z);
-                dh_prev_direct[j] += dh * z;
                 // n = tanh(a), a = zx_n + r * hn_lin
                 let da = dn * (1.0 - n * n);
                 dzx[2 * h + j] = da;
@@ -153,39 +206,47 @@ impl GruLayer {
                 dzh[j] = dzr;
                 dzx[h + j] = dzz;
                 dzh[h + j] = dzz;
+                // Direct h_prev pathway through the update gate; the Whᵀ
+                // pathway is added below once dzh_t is complete.
+                dh_next[j] = dh * z;
             }
-            // Parameter grads.
-            for (k, &xv) in cache.x.row(t).iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                let g_row = &mut self.wx.grad.data[k * 3 * h..(k + 1) * 3 * h];
-                for (gv, &dv) in g_row.iter_mut().zip(&dzx) {
-                    *gv += xv * dv;
-                }
+            let dzh = &dzh_all.data[t * g..(t + 1) * g];
+            for (k, dhv) in dh_next.iter_mut().enumerate() {
+                *dhv += self.wh.value.row(k).iter().zip(dzh).map(|(a, b)| a * b).sum::<f64>();
             }
-            for (k, &hv) in h_prev.iter().enumerate() {
-                if hv == 0.0 {
-                    continue;
-                }
-                let g_row = &mut self.wh.grad.data[k * 3 * h..(k + 1) * 3 * h];
-                for (gv, &dv) in g_row.iter_mut().zip(&dzh) {
+        }
+        cache.x.add_matmul_tn(&dzx_all, &mut self.wx.grad);
+        for t in 1..t_len {
+            let h_row = cache.hiddens.row(t - 1);
+            let dzh = dzh_all.row(t);
+            for (k, &hv) in h_row.iter().enumerate() {
+                let g_row = &mut self.wh.grad.data[k * g..(k + 1) * g];
+                for (gv, &dv) in g_row.iter_mut().zip(dzh) {
                     *gv += hv * dv;
                 }
             }
-            for (gv, &dv) in self.b.grad.data.iter_mut().zip(&dzx) {
+        }
+        for t in 0..t_len {
+            for (gv, &dv) in self.b.grad.data.iter_mut().zip(dzx_all.row(t)) {
                 *gv += dv;
             }
-            // Input and previous-hidden grads.
-            for (k, dxv) in dx.row_mut(t).iter_mut().enumerate() {
-                *dxv = self.wx.value.row(k).iter().zip(&dzx).map(|(a, b)| a * b).sum();
-            }
-            let mut dh_prev = dh_prev_direct;
-            for (k, dhv) in dh_prev.iter_mut().enumerate() {
-                *dhv += self.wh.value.row(k).iter().zip(&dzh).map(|(a, b)| a * b).sum::<f64>();
-            }
-            dh_next = dh_prev;
         }
+        let in_dim = cache.x.cols;
+        let mut dx = ws.take_matrix(t_len, in_dim);
+        for t in 0..t_len {
+            let dzx = dzx_all.row(t);
+            let dx_row = &mut dx.data[t * in_dim..(t + 1) * in_dim];
+            for (k, dxv) in dx_row.iter_mut().enumerate() {
+                *dxv = self.wx.value.row(k).iter().zip(dzx).map(|(a, b)| a * b).sum();
+            }
+        }
+        ws.give(dh_next);
+        ws.give_matrix(dzx_all);
+        ws.give_matrix(dzh_all);
+        ws.give_matrix(cache.x);
+        ws.give_matrix(cache.gates);
+        ws.give_matrix(cache.hn_lin);
+        ws.give_matrix(cache.hiddens);
         dx
     }
 
@@ -223,31 +284,104 @@ impl Gru {
         self.layers.last().unwrap().hidden()
     }
 
+    /// Borrow the layer stack (read-only), e.g. for the unfused reference
+    /// implementation in [`crate::reference`].
+    pub fn layers(&self) -> &[GruLayer] {
+        &self.layers
+    }
+
     /// Forward through the stack.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
+        let mut ws = NnWorkspace::new();
+        self.forward_ws(x, &mut ws)
+    }
+
+    /// [`Gru::forward`] drawing scratch from a shared workspace.
+    pub fn forward_ws(&mut self, x: &Matrix, ws: &mut NnWorkspace) -> Matrix {
+        let mut h: Option<Matrix> = None;
         for layer in &mut self.layers {
-            h = layer.forward(&h);
+            let out = {
+                let input = h.as_ref().unwrap_or(x);
+                layer.forward_ws(input, ws)
+            };
+            if let Some(prev) = h.take() {
+                ws.give_matrix(prev);
+            }
+            h = Some(out);
         }
-        h
+        h.expect("at least one layer")
     }
 
     /// Inference-only forward.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &self.layers {
-            h = layer.infer(&h);
+        let mut ws = NnWorkspace::new();
+        self.infer_batch(x, 1, None, None, &mut ws)
+    }
+
+    /// Batched inference over time-major packed lanes with optional state
+    /// resume; same conventions as [`crate::lstm::Lstm::infer_batch`].
+    pub fn infer_batch(
+        &self,
+        x: &Matrix,
+        batch: usize,
+        init: Option<&[&[LayerState]]>,
+        mut states_out: Option<&mut Vec<Vec<LayerState>>>,
+        ws: &mut NnWorkspace,
+    ) -> Matrix {
+        let n_layers = self.layers.len();
+        if let Some(init) = init {
+            assert_eq!(init.len(), batch, "one init lane per batch row");
+            for lane in init {
+                assert_eq!(lane.len(), n_layers, "one init state per layer");
+            }
         }
-        h
+        if let Some(states) = states_out.as_deref_mut() {
+            states.clear();
+            states.resize_with(batch, || Vec::with_capacity(n_layers));
+        }
+        let mut h: Option<Matrix> = None;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let init_states: Option<Vec<&LayerState>> =
+                init.map(|lanes| lanes.iter().map(|lane| &lane[li]).collect());
+            let mut layer_states: Option<Vec<LayerState>> =
+                if states_out.is_some() { Some(Vec::with_capacity(batch)) } else { None };
+            let out = {
+                let input = h.as_ref().unwrap_or(x);
+                layer.run(input, batch, init_states.as_deref(), false, layer_states.as_mut(), ws).0
+            };
+            if let Some(prev) = h.take() {
+                ws.give_matrix(prev);
+            }
+            h = Some(out);
+            if let (Some(acc), Some(ls)) = (states_out.as_deref_mut(), layer_states) {
+                for (lane, st) in acc.iter_mut().zip(ls) {
+                    lane.push(st);
+                }
+            }
+        }
+        h.expect("at least one layer")
     }
 
     /// Backward through the stack.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
-        let mut d = d_out.clone();
+        let mut ws = NnWorkspace::new();
+        self.backward_ws(d_out, &mut ws)
+    }
+
+    /// [`Gru::backward`] drawing scratch from a shared workspace.
+    pub fn backward_ws(&mut self, d_out: &Matrix, ws: &mut NnWorkspace) -> Matrix {
+        let mut d: Option<Matrix> = None;
         for layer in self.layers.iter_mut().rev() {
-            d = layer.backward(&d);
+            let grad = {
+                let upstream = d.as_ref().unwrap_or(d_out);
+                layer.backward_ws(upstream, ws)
+            };
+            if let Some(prev) = d.take() {
+                ws.give_matrix(prev);
+            }
+            d = Some(grad);
         }
-        d
+        d.expect("at least one layer")
     }
 
     /// Trainable parameters (stable order).
@@ -285,6 +419,22 @@ mod tests {
         for (u, v) in a.data.iter().zip(&b.data) {
             assert!((u - v).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn resumed_inference_matches_full_sequence() {
+        let g = Gru::new(3, 4, 2, &mut init::rng(13));
+        let x = seq(6, 3, 14);
+        let mut ws = NnWorkspace::new();
+        let full = g.infer_batch(&x, 1, None, None, &mut ws);
+        let prefix = Matrix::from_vec(4, 3, x.data[..12].to_vec());
+        let mut states = Vec::new();
+        let _ = g.infer_batch(&prefix, 1, None, Some(&mut states), &mut ws);
+        let tail = Matrix::from_vec(2, 3, x.data[12..].to_vec());
+        let init: Vec<&[LayerState]> = vec![&states[0]];
+        let resumed = g.infer_batch(&tail, 1, Some(&init), None, &mut ws);
+        assert_eq!(resumed.row(0), full.row(4));
+        assert_eq!(resumed.row(1), full.row(5));
     }
 
     #[test]

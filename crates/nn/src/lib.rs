@@ -21,12 +21,15 @@ pub mod lstm;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
+pub mod reference;
 pub mod rnn;
 pub mod seq;
 pub mod transformer;
+pub mod workspace;
 
 pub use dense::Dense;
 pub use matrix::{Matrix, Tensor};
 pub use mlp::Mlp;
 pub use optim::{Adam, Sgd};
-pub use seq::{EncoderKind, SequenceRegressor};
+pub use seq::{EncoderKind, EncoderState, SequenceRegressor};
+pub use workspace::{LayerState, NnWorkspace};

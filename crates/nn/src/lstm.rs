@@ -1,12 +1,18 @@
 //! Single- and stacked-layer LSTM with full backpropagation through time.
 //!
-//! Sequences are processed one at a time (`T × in_dim` input), matching the
-//! predictor's batch-of-one training regime. Gate layout inside the fused
-//! weight matrices is `[i | f | g | o]`.
+//! The kernels are *fused*: the per-gate weights live in single concatenated
+//! tensors (`in_dim × 4·hidden`, gate layout `[i | f | g | o]`), the input
+//! projection `Z = b ⊕ X Wx` is hoisted out of the time loop as one GEMM for
+//! the whole sequence, and each timestep then costs a single recurrent GEMM
+//! (`h_prev Wh`) plus the scalar gate math. Forward supports time-major
+//! batched lanes and resuming from a saved [`LayerState`], which is what the
+//! batched/prefix-cached scoring paths in `fastft-core` build on. All scratch
+//! comes from a pooled [`NnWorkspace`], so steady-state calls don't allocate.
 
 use crate::activation::sigmoid;
 use crate::init;
 use crate::matrix::{Matrix, Tensor};
+use crate::workspace::{LayerState, NnWorkspace};
 use fastft_tabular::rngx::StdRng;
 
 /// One LSTM layer.
@@ -24,10 +30,10 @@ pub struct LstmLayer {
 
 #[derive(Debug, Clone)]
 struct Cache {
-    x: Matrix,              // T × in_dim
-    gates: Vec<Vec<f64>>,   // per t: activated [i f g o], 4H
-    cells: Vec<Vec<f64>>,   // per t: c_t, H
-    hiddens: Vec<Vec<f64>>, // per t: h_t, H
+    x: Matrix,       // T × in_dim
+    gates: Matrix,   // T × 4H, activated [i f g o]
+    cells: Matrix,   // T × H
+    hiddens: Matrix, // T × H
 }
 
 impl LstmLayer {
@@ -67,152 +73,195 @@ impl LstmLayer {
     /// hidden-state sequence and caching everything needed for
     /// [`LstmLayer::backward`].
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let (out, cache) = self.run(x, true);
+        let mut ws = NnWorkspace::new();
+        self.forward_ws(x, &mut ws)
+    }
+
+    /// [`LstmLayer::forward`] drawing scratch from a shared workspace.
+    pub fn forward_ws(&mut self, x: &Matrix, ws: &mut NnWorkspace) -> Matrix {
+        let (out, cache) = self.run(x, 1, None, true, None, ws);
         self.cache = cache;
         out
     }
 
     /// Inference-only forward (no cache).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        self.run(x, false).0
+        let mut ws = NnWorkspace::new();
+        self.run(x, 1, None, false, None, &mut ws).0
     }
 
-    fn run(&self, x: &Matrix, keep: bool) -> (Matrix, Option<Cache>) {
-        let t_len = x.rows;
+    /// Fused forward over a time-major `(T·batch) × in_dim` input (row
+    /// `t·batch + lane` is timestep `t` of `lane`). `init` resumes each lane
+    /// from a saved state; `states_out` receives each lane's final state.
+    /// The training path (`keep`) is batch-of-one from t = 0.
+    fn run(
+        &self,
+        x: &Matrix,
+        batch: usize,
+        init: Option<&[&LayerState]>,
+        keep: bool,
+        states_out: Option<&mut Vec<LayerState>>,
+        ws: &mut NnWorkspace,
+    ) -> (Matrix, Option<Cache>) {
         let h = self.hidden;
-        let mut hiddens = Vec::with_capacity(t_len);
-        let mut cells = Vec::with_capacity(t_len);
-        let mut gates = Vec::with_capacity(t_len);
-        let mut h_prev = vec![0.0; h];
-        let mut c_prev = vec![0.0; h];
-        let mut out = Matrix::zeros(t_len, h);
-        for t in 0..t_len {
-            // z = x_t Wx + h_prev Wh + b
-            let mut z = self.b.value.data.clone();
-            let x_row = x.row(t);
-            for (k, &xv) in x_row.iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                let w_row = self.wx.value.row(k);
-                for (zv, &wv) in z.iter_mut().zip(w_row) {
-                    *zv += xv * wv;
-                }
-            }
-            for (k, &hv) in h_prev.iter().enumerate() {
-                if hv == 0.0 {
-                    continue;
-                }
-                let w_row = self.wh.value.row(k);
-                for (zv, &wv) in z.iter_mut().zip(w_row) {
-                    *zv += hv * wv;
-                }
-            }
-            // Activate gates in place: [i f g o]
-            let mut g_act = z;
-            let mut c_t = vec![0.0; h];
-            let mut h_t = vec![0.0; h];
-            for j in 0..h {
-                let i = sigmoid(g_act[j]);
-                let f = sigmoid(g_act[h + j]);
-                let g = g_act[2 * h + j].tanh();
-                let o = sigmoid(g_act[3 * h + j]);
-                g_act[j] = i;
-                g_act[h + j] = f;
-                g_act[2 * h + j] = g;
-                g_act[3 * h + j] = o;
-                c_t[j] = f * c_prev[j] + i * g;
-                h_t[j] = o * c_t[j].tanh();
-            }
-            out.row_mut(t).copy_from_slice(&h_t);
-            if keep {
-                gates.push(g_act);
-                cells.push(c_t.clone());
-                hiddens.push(h_t.clone());
-            }
-            h_prev = h_t;
-            c_prev = c_t;
+        let g = 4 * h;
+        let rows = x.rows;
+        assert!(
+            batch >= 1 && rows.is_multiple_of(batch),
+            "rows {rows} not a multiple of batch {batch}"
+        );
+        let t_len = rows / batch;
+        if keep {
+            assert!(batch == 1 && init.is_none(), "training path is batch-of-one from t = 0");
         }
-        let cache = keep.then(|| Cache { x: x.clone(), gates, cells, hiddens });
+        // Input projection hoisted over the whole sequence: Z = b ⊕ X Wx.
+        let mut z = ws.take_matrix(rows, g);
+        for r in 0..rows {
+            z.row_mut(r).copy_from_slice(&self.b.value.data);
+        }
+        self.wx.value.addmm_into(&x.data, rows, &mut z.data);
+        let mut h_prev = ws.take(batch * h);
+        let mut c_prev = ws.take(batch * h);
+        if let Some(states) = init {
+            assert_eq!(states.len(), batch, "one init state per lane");
+            for (bi, st) in states.iter().enumerate() {
+                h_prev[bi * h..(bi + 1) * h].copy_from_slice(&st.h);
+                c_prev[bi * h..(bi + 1) * h].copy_from_slice(&st.c);
+            }
+        }
+        let mut out = ws.take_matrix(rows, h);
+        let mut cells = if keep { Some(ws.take_matrix(t_len, h)) } else { None };
+        for t in 0..t_len {
+            // Recurrent GEMM for this step's `batch` rows, then gate math.
+            let z_rows = &mut z.data[t * batch * g..(t + 1) * batch * g];
+            self.wh.value.addmm_into(&h_prev, batch, z_rows);
+            for bi in 0..batch {
+                let zr = &mut z_rows[bi * g..(bi + 1) * g];
+                let hp = &mut h_prev[bi * h..(bi + 1) * h];
+                let cp = &mut c_prev[bi * h..(bi + 1) * h];
+                for j in 0..h {
+                    let i = sigmoid(zr[j]);
+                    let f = sigmoid(zr[h + j]);
+                    let gg = zr[2 * h + j].tanh();
+                    let o = sigmoid(zr[3 * h + j]);
+                    zr[j] = i;
+                    zr[h + j] = f;
+                    zr[2 * h + j] = gg;
+                    zr[3 * h + j] = o;
+                    let c = f * cp[j] + i * gg;
+                    cp[j] = c;
+                    hp[j] = o * c.tanh();
+                }
+                out.row_mut(t * batch + bi).copy_from_slice(&h_prev[bi * h..(bi + 1) * h]);
+            }
+            if let Some(cells) = cells.as_mut() {
+                cells.row_mut(t).copy_from_slice(&c_prev[..h]);
+            }
+        }
+        if let Some(states) = states_out {
+            for bi in 0..batch {
+                states.push(LayerState {
+                    h: h_prev[bi * h..(bi + 1) * h].to_vec(),
+                    c: c_prev[bi * h..(bi + 1) * h].to_vec(),
+                });
+            }
+        }
+        ws.give(h_prev);
+        ws.give(c_prev);
+        let cache = if keep {
+            // Cache snapshots come from the pool too, so repeated train steps
+            // recycle the same buffers instead of growing the pool.
+            let xc = ws.take_copy(x);
+            let hc = ws.take_copy(&out);
+            Some(Cache { x: xc, gates: z, cells: cells.unwrap(), hiddens: hc })
+        } else {
+            ws.give_matrix(z);
+            None
+        };
         (out, cache)
     }
 
     /// BPTT given the gradient w.r.t. the full hidden sequence (`T × hidden`).
     /// Accumulates parameter gradients and returns `dX` (`T × in_dim`).
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut ws = NnWorkspace::new();
+        self.backward_ws(d_out, &mut ws)
+    }
+
+    /// [`LstmLayer::backward`] drawing scratch from a shared workspace. The
+    /// per-step loop only fills `dz_t` rows and propagates `dh/dc`; the
+    /// parameter gradients are hoisted into whole-sequence GEMMs afterwards
+    /// (`dWx += Xᵀ dZ`, `dWh += H[..T-1]ᵀ dZ[1..]`, `db += Σ_t dz_t`,
+    /// `dX = dZ Wxᵀ`).
+    pub fn backward_ws(&mut self, d_out: &Matrix, ws: &mut NnWorkspace) -> Matrix {
         let cache = self.cache.take().expect("forward before backward");
         let t_len = cache.x.rows;
         assert_eq!(d_out.rows, t_len);
         let h = self.hidden;
-        let in_dim = cache.x.cols;
-        let mut dx = Matrix::zeros(t_len, in_dim);
-        let mut dh_next = vec![0.0; h];
-        let mut dc_next = vec![0.0; h];
+        let g = 4 * h;
+        let mut dz_all = ws.take_matrix(t_len, g);
+        let mut dh_next = ws.take(h);
+        let mut dc_next = ws.take(h);
         for t in (0..t_len).rev() {
-            let gates = &cache.gates[t];
-            let c_t = &cache.cells[t];
-            let c_prev: &[f64] = if t == 0 { &[] } else { &cache.cells[t - 1] };
-            let h_prev: &[f64] = if t == 0 { &[] } else { &cache.hiddens[t - 1] };
-            // Total dh at this step.
-            let mut dz = vec![0.0; 4 * h];
-            let mut dh_prev = vec![0.0; h];
-            let mut dc_prev = vec![0.0; h];
+            let gates = cache.gates.row(t);
+            let c_t = cache.cells.row(t);
+            let dz = &mut dz_all.data[t * g..(t + 1) * g];
             for j in 0..h {
                 let dh = d_out[(t, j)] + dh_next[j];
                 let i = gates[j];
                 let f = gates[h + j];
-                let g = gates[2 * h + j];
+                let gg = gates[2 * h + j];
                 let o = gates[3 * h + j];
                 let tc = c_t[j].tanh();
                 let d_o = dh * tc;
                 let dc = dh * o * (1.0 - tc * tc) + dc_next[j];
-                let d_i = dc * g;
+                let d_i = dc * gg;
                 let d_g = dc * i;
-                let d_f = dc * if t == 0 { 0.0 } else { c_prev[j] };
-                dc_prev[j] = dc * f;
+                let d_f = dc * if t == 0 { 0.0 } else { cache.cells[(t - 1, j)] };
+                dc_next[j] = dc * f;
                 dz[j] = d_i * i * (1.0 - i);
                 dz[h + j] = d_f * f * (1.0 - f);
-                dz[2 * h + j] = d_g * (1.0 - g * g);
+                dz[2 * h + j] = d_g * (1.0 - gg * gg);
                 dz[3 * h + j] = d_o * o * (1.0 - o);
             }
-            // Parameter gradients: dWx += x_tᵀ dz ; dWh += h_prevᵀ dz ; db += dz.
-            let x_row = cache.x.row(t);
-            for (k, &xv) in x_row.iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                let g_row = &mut self.wx.grad.data[k * 4 * h..(k + 1) * 4 * h];
-                for (gv, &dv) in g_row.iter_mut().zip(&dz) {
-                    *gv += xv * dv;
+            // dh_prev = dz Whᵀ (must stay in the loop — feeds step t-1).
+            let dz = &dz_all.data[t * g..(t + 1) * g];
+            for (k, dhv) in dh_next.iter_mut().enumerate() {
+                *dhv = self.wh.value.row(k).iter().zip(dz).map(|(a, b)| a * b).sum();
+            }
+        }
+        cache.x.add_matmul_tn(&dz_all, &mut self.wx.grad);
+        for t in 1..t_len {
+            let h_row = cache.hiddens.row(t - 1);
+            let dz = dz_all.row(t);
+            for (k, &hv) in h_row.iter().enumerate() {
+                let g_row = &mut self.wh.grad.data[k * g..(k + 1) * g];
+                for (gv, &dv) in g_row.iter_mut().zip(dz) {
+                    *gv += hv * dv;
                 }
             }
-            if t > 0 {
-                for (k, &hv) in h_prev.iter().enumerate() {
-                    if hv == 0.0 {
-                        continue;
-                    }
-                    let g_row = &mut self.wh.grad.data[k * 4 * h..(k + 1) * 4 * h];
-                    for (gv, &dv) in g_row.iter_mut().zip(&dz) {
-                        *gv += hv * dv;
-                    }
-                }
-            }
-            for (gv, &dv) in self.b.grad.data.iter_mut().zip(&dz) {
+        }
+        for t in 0..t_len {
+            for (gv, &dv) in self.b.grad.data.iter_mut().zip(dz_all.row(t)) {
                 *gv += dv;
             }
-            // dx_t = dz Wxᵀ ; dh_prev += dz Whᵀ.
-            let dx_row = dx.row_mut(t);
-            for (k, dxv) in dx_row.iter_mut().enumerate() {
-                let w_row = self.wx.value.row(k);
-                *dxv = w_row.iter().zip(&dz).map(|(a, b)| a * b).sum();
-            }
-            for (k, dhv) in dh_prev.iter_mut().enumerate() {
-                let w_row = self.wh.value.row(k);
-                *dhv = w_row.iter().zip(&dz).map(|(a, b)| a * b).sum();
-            }
-            dh_next = dh_prev;
-            dc_next = dc_prev;
         }
+        let in_dim = cache.x.cols;
+        let mut dx = ws.take_matrix(t_len, in_dim);
+        for t in 0..t_len {
+            let dz = dz_all.row(t);
+            let dx_row = &mut dx.data[t * in_dim..(t + 1) * in_dim];
+            for (k, dxv) in dx_row.iter_mut().enumerate() {
+                *dxv = self.wx.value.row(k).iter().zip(dz).map(|(a, b)| a * b).sum();
+            }
+        }
+        ws.give(dh_next);
+        ws.give(dc_next);
+        ws.give_matrix(dz_all);
+        ws.give_matrix(cache.x);
+        ws.give_matrix(cache.gates);
+        ws.give_matrix(cache.cells);
+        ws.give_matrix(cache.hiddens);
         dx
     }
 
@@ -268,31 +317,107 @@ impl Lstm {
         self.layers.last().unwrap().hidden()
     }
 
+    /// Borrow the layer stack (read-only), e.g. for the unfused reference
+    /// implementation in [`crate::reference`].
+    pub fn layers(&self) -> &[LstmLayer] {
+        &self.layers
+    }
+
     /// Forward through the stack (`T × in_dim` → `T × hidden`).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
+        let mut ws = NnWorkspace::new();
+        self.forward_ws(x, &mut ws)
+    }
+
+    /// [`Lstm::forward`] drawing scratch from a shared workspace.
+    pub fn forward_ws(&mut self, x: &Matrix, ws: &mut NnWorkspace) -> Matrix {
+        let mut h: Option<Matrix> = None;
         for layer in &mut self.layers {
-            h = layer.forward(&h);
+            let out = {
+                let input = h.as_ref().unwrap_or(x);
+                layer.forward_ws(input, ws)
+            };
+            if let Some(prev) = h.take() {
+                ws.give_matrix(prev);
+            }
+            h = Some(out);
         }
-        h
+        h.expect("at least one layer")
     }
 
     /// Inference-only forward.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &self.layers {
-            h = layer.infer(&h);
+        let mut ws = NnWorkspace::new();
+        self.infer_batch(x, 1, None, None, &mut ws)
+    }
+
+    /// Batched inference over a time-major `(T·batch) × in_dim` packed input
+    /// (row `t·batch + lane` is timestep `t` of `lane`). `init` optionally
+    /// resumes each lane from per-layer [`LayerState`]s (outer index = lane,
+    /// inner = layer); `states_out`, when present, is filled with each lane's
+    /// final per-layer states so callers can snapshot and later resume.
+    pub fn infer_batch(
+        &self,
+        x: &Matrix,
+        batch: usize,
+        init: Option<&[&[LayerState]]>,
+        mut states_out: Option<&mut Vec<Vec<LayerState>>>,
+        ws: &mut NnWorkspace,
+    ) -> Matrix {
+        let n_layers = self.layers.len();
+        if let Some(init) = init {
+            assert_eq!(init.len(), batch, "one init lane per batch row");
+            for lane in init {
+                assert_eq!(lane.len(), n_layers, "one init state per layer");
+            }
         }
-        h
+        if let Some(states) = states_out.as_deref_mut() {
+            states.clear();
+            states.resize_with(batch, || Vec::with_capacity(n_layers));
+        }
+        let mut h: Option<Matrix> = None;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let init_states: Option<Vec<&LayerState>> =
+                init.map(|lanes| lanes.iter().map(|lane| &lane[li]).collect());
+            let mut layer_states: Option<Vec<LayerState>> =
+                if states_out.is_some() { Some(Vec::with_capacity(batch)) } else { None };
+            let out = {
+                let input = h.as_ref().unwrap_or(x);
+                layer.run(input, batch, init_states.as_deref(), false, layer_states.as_mut(), ws).0
+            };
+            if let Some(prev) = h.take() {
+                ws.give_matrix(prev);
+            }
+            h = Some(out);
+            if let (Some(acc), Some(ls)) = (states_out.as_deref_mut(), layer_states) {
+                for (lane, st) in acc.iter_mut().zip(ls) {
+                    lane.push(st);
+                }
+            }
+        }
+        h.expect("at least one layer")
     }
 
     /// Backward through the stack.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
-        let mut d = d_out.clone();
+        let mut ws = NnWorkspace::new();
+        self.backward_ws(d_out, &mut ws)
+    }
+
+    /// [`Lstm::backward`] drawing scratch from a shared workspace.
+    pub fn backward_ws(&mut self, d_out: &Matrix, ws: &mut NnWorkspace) -> Matrix {
+        let mut d: Option<Matrix> = None;
         for layer in self.layers.iter_mut().rev() {
-            d = layer.backward(&d);
+            let grad = {
+                let upstream = d.as_ref().unwrap_or(d_out);
+                layer.backward_ws(upstream, ws)
+            };
+            if let Some(prev) = d.take() {
+                ws.give_matrix(prev);
+            }
+            d = Some(grad);
         }
-        d
+        d.expect("at least one layer")
     }
 
     /// All trainable parameters (stable order).
@@ -336,6 +461,44 @@ mod tests {
         let b = l.infer(&x);
         for (u, v) in a.data.iter().zip(&b.data) {
             assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resumed_inference_matches_full_sequence() {
+        // Running the first T-1 steps, snapshotting the state, then feeding
+        // only the last step must reproduce the full-sequence hidden exactly.
+        let l = Lstm::new(3, 4, 2, &mut init::rng(13));
+        let x = seq(6, 3, 14);
+        let mut ws = NnWorkspace::new();
+        let full = l.infer_batch(&x, 1, None, None, &mut ws);
+        let prefix = Matrix::from_vec(5, 3, x.data[..15].to_vec());
+        let mut states = Vec::new();
+        let _ = l.infer_batch(&prefix, 1, None, Some(&mut states), &mut ws);
+        let last = Matrix::from_vec(1, 3, x.data[15..].to_vec());
+        let init: Vec<&[LayerState]> = vec![&states[0]];
+        let resumed = l.infer_batch(&last, 1, Some(&init), None, &mut ws);
+        assert_eq!(resumed.row(0), full.row(5));
+    }
+
+    #[test]
+    fn batched_lanes_match_independent_runs() {
+        let l = Lstm::new(3, 4, 2, &mut init::rng(15));
+        let a = seq(4, 3, 16);
+        let b = seq(4, 3, 17);
+        let mut ws = NnWorkspace::new();
+        // Pack time-major: row t*2 + lane.
+        let mut packed = Matrix::zeros(8, 3);
+        for t in 0..4 {
+            packed.row_mut(t * 2).copy_from_slice(a.row(t));
+            packed.row_mut(t * 2 + 1).copy_from_slice(b.row(t));
+        }
+        let y = l.infer_batch(&packed, 2, None, None, &mut ws);
+        let ya = l.infer(&a);
+        let yb = l.infer(&b);
+        for t in 0..4 {
+            assert_eq!(y.row(t * 2), ya.row(t), "lane 0 t={t}");
+            assert_eq!(y.row(t * 2 + 1), yb.row(t), "lane 1 t={t}");
         }
     }
 

@@ -53,12 +53,18 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
+        // The zero-skip below drops `0 · b` terms, which is only sound while
+        // `b` is finite (`0 · ∞` and `0 · NaN` are NaN and must propagate).
+        // Scanned lazily so all-nonzero inputs never pay for it.
+        let mut b_finite: Option<bool> = None;
         // ikj loop order: the inner loop walks both `other` and `out` rows
         // contiguously (perf-book cache-friendly traversal).
         for i in 0..self.rows {
             let a_row = self.row(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0
+                    && *b_finite.get_or_insert_with(|| other.data.iter().all(|v| v.is_finite()))
+                {
                     continue;
                 }
                 let b_row = other.row(k);
@@ -89,11 +95,16 @@ impl Matrix {
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        // Same lazily-checked finiteness gate as [`Matrix::matmul`]: the
+        // zero-skip must not swallow `0 · ∞ = NaN` terms from `other`.
+        let mut b_finite: Option<bool> = None;
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0
+                    && *b_finite.get_or_insert_with(|| other.data.iter().all(|v| v.is_finite()))
+                {
                     continue;
                 }
                 let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
@@ -103,6 +114,45 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// `out += selfᵀ @ other` — dense accumulate (no zero-skip), used by the
+    /// fused recurrent backward passes to hoist `dW += Xᵀ dZ` out of the
+    /// time loop. Row order ascends, so every caller shares one
+    /// deterministic summation order.
+    pub fn add_matmul_tn(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "add_matmul_tn shape");
+        assert_eq!((out.rows, out.cols), (self.cols, other.cols), "add_matmul_tn out shape");
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `out += a @ self` over a flat row-major slice pair: `a` is
+    /// `rows × self.rows`, `out` is `rows × self.cols`. Dense accumulate
+    /// (no zero-skip) with a k-ascending inner order, so the fused recurrent
+    /// kernels and the batched/prefix-resumed paths built on them all share
+    /// one bitwise-deterministic summation order.
+    pub fn addmm_into(&self, a: &[f64], rows: usize, out: &mut [f64]) {
+        assert_eq!(a.len(), rows * self.rows, "addmm_into lhs shape");
+        assert_eq!(out.len(), rows * self.cols, "addmm_into out shape");
+        for i in 0..rows {
+            let a_row = &a[i * self.rows..(i + 1) * self.rows];
+            let o_row = &mut out[i * self.cols..(i + 1) * self.cols];
+            for (k, &av) in a_row.iter().enumerate() {
+                let b_row = &self.data[k * self.cols..(k + 1) * self.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += av * b;
+                }
+            }
+        }
     }
 
     /// Transposed copy.
@@ -259,6 +309,58 @@ mod tests {
         t.grad.data[0] = 3.0;
         t.zero_grad();
         assert!(t.grad.data.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_rows() {
+        // Regression: the zero-skip fast path used to drop `0 · NaN` and
+        // `0 · ∞` terms, silently producing finite output from poisoned B.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![f64::NAN, f64::INFINITY, 2.0, 3.0]);
+        let c = a.matmul(&b);
+        assert!(c.data[0].is_nan(), "0·NaN must propagate, got {}", c.data[0]);
+        assert!(c.data[1].is_nan(), "0·∞ + finite must stay NaN, got {}", c.data[1]);
+    }
+
+    #[test]
+    fn matmul_tn_propagates_nan_through_zero_rows() {
+        let a = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![f64::NAN, f64::INFINITY, 2.0, 3.0]);
+        let c = a.matmul_tn(&b);
+        assert!(c.data[0].is_nan() && c.data[1].is_nan());
+    }
+
+    #[test]
+    fn matmul_zero_skip_still_exact_on_finite_inputs() {
+        let a = Matrix::from_vec(2, 3, vec![0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let dense = {
+            let mut out = Matrix::zeros(2, 2);
+            b.addmm_into(&a.data, 2, &mut out.data);
+            out
+        };
+        assert_eq!(a.matmul(&b), dense);
+    }
+
+    #[test]
+    fn addmm_into_accumulates() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let mut out = vec![1.0; 4];
+        b.addmm_into(&a.data, 2, &mut out);
+        assert_eq!(out, vec![59., 65., 140., 155.]);
+    }
+
+    #[test]
+    fn add_matmul_tn_accumulates() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(f64::from).collect());
+        let mut out = Matrix::zeros(2, 4);
+        a.add_matmul_tn(&b, &mut out);
+        let mut expect = a.matmul_tn(&b);
+        a.add_matmul_tn(&b, &mut out);
+        expect.add_assign(&a.matmul_tn(&b));
+        assert_eq!(out, expect);
     }
 
     #[test]

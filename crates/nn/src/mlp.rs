@@ -55,6 +55,17 @@ impl Mlp {
         h.data
     }
 
+    /// Batched inference on a `B × in_dim` matrix. Each output row is
+    /// bitwise-identical to [`Mlp::infer_vec`] on the corresponding input
+    /// row, so callers can batch candidate scoring without changing results.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].infer(x);
+        for layer in &self.layers[1..] {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
     /// Backward; returns `dX`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let mut d = dy.clone();
@@ -118,6 +129,20 @@ mod tests {
         let b = m.infer_vec(&x);
         for (u, v) in a.data.iter().zip(&b) {
             assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_infer_matches_per_row_infer_vec() {
+        let m = Mlp::new(&[3, 5, 2], 11);
+        let mut rng = init::rng(12);
+        let rows = 4;
+        let data: Vec<f64> = (0..rows * 3).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let batch = Matrix::from_vec(rows, 3, data.clone());
+        let y = m.infer(&batch);
+        for r in 0..rows {
+            let single = m.infer_vec(&data[r * 3..(r + 1) * 3]);
+            assert_eq!(y.row(r), &single[..], "row {r}");
         }
     }
 

@@ -1,0 +1,186 @@
+//! Unfused, per-timestep reference implementations of the recurrent
+//! encoders — the pre-fusion kernels kept verbatim (allocating per-step
+//! buffers, scalar zero-skip loops, no hoisted GEMMs).
+//!
+//! They exist for two reasons: the parity suite checks the fused kernels in
+//! `lstm`/`gru`/`rnn` against them, and `fastft-bench --bench nn` uses them
+//! as the pre-PR baseline when reporting speedups. They must stay
+//! mathematically identical to the fused forward passes.
+
+use crate::activation::sigmoid;
+use crate::gru::{Gru, GruLayer};
+use crate::lstm::{Lstm, LstmLayer};
+use crate::matrix::Matrix;
+use crate::rnn::{Rnn, RnnLayer};
+
+/// Unfused forward of one LSTM layer (`T × in_dim` → `T × hidden`).
+pub fn lstm_layer_forward(layer: &LstmLayer, x: &Matrix) -> Matrix {
+    let t_len = x.rows;
+    let h = layer.hidden();
+    let mut h_prev = vec![0.0; h];
+    let mut c_prev = vec![0.0; h];
+    let mut out = Matrix::zeros(t_len, h);
+    for t in 0..t_len {
+        let mut z = layer.b.value.data.clone();
+        for (k, &xv) in x.row(t).iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (zv, &wv) in z.iter_mut().zip(layer.wx.value.row(k)) {
+                *zv += xv * wv;
+            }
+        }
+        for (k, &hv) in h_prev.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            for (zv, &wv) in z.iter_mut().zip(layer.wh.value.row(k)) {
+                *zv += hv * wv;
+            }
+        }
+        let mut c_t = vec![0.0; h];
+        let mut h_t = vec![0.0; h];
+        for j in 0..h {
+            let i = sigmoid(z[j]);
+            let f = sigmoid(z[h + j]);
+            let g = z[2 * h + j].tanh();
+            let o = sigmoid(z[3 * h + j]);
+            c_t[j] = f * c_prev[j] + i * g;
+            h_t[j] = o * c_t[j].tanh();
+        }
+        out.row_mut(t).copy_from_slice(&h_t);
+        h_prev = h_t;
+        c_prev = c_t;
+    }
+    out
+}
+
+/// Unfused forward through an LSTM stack.
+pub fn lstm_forward(net: &Lstm, x: &Matrix) -> Matrix {
+    let mut h = x.clone();
+    for layer in net.layers() {
+        h = lstm_layer_forward(layer, &h);
+    }
+    h
+}
+
+/// Unfused forward of one GRU layer.
+pub fn gru_layer_forward(layer: &GruLayer, x: &Matrix) -> Matrix {
+    let t_len = x.rows;
+    let h = layer.hidden();
+    let mut out = Matrix::zeros(t_len, h);
+    let mut h_prev = vec![0.0; h];
+    for t in 0..t_len {
+        let mut zx = layer.b.value.data.clone();
+        for (k, &xv) in x.row(t).iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (zv, &wv) in zx.iter_mut().zip(layer.wx.value.row(k)) {
+                *zv += xv * wv;
+            }
+        }
+        let mut zh = vec![0.0; 3 * h];
+        for (k, &hv) in h_prev.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            for (zv, &wv) in zh.iter_mut().zip(layer.wh.value.row(k)) {
+                *zv += hv * wv;
+            }
+        }
+        let mut h_t = vec![0.0; h];
+        for j in 0..h {
+            let r = sigmoid(zx[j] + zh[j]);
+            let z = sigmoid(zx[h + j] + zh[h + j]);
+            let n = (zx[2 * h + j] + r * zh[2 * h + j]).tanh();
+            h_t[j] = (1.0 - z) * n + z * h_prev[j];
+        }
+        out.row_mut(t).copy_from_slice(&h_t);
+        h_prev = h_t;
+    }
+    out
+}
+
+/// Unfused forward through a GRU stack.
+pub fn gru_forward(net: &Gru, x: &Matrix) -> Matrix {
+    let mut h = x.clone();
+    for layer in net.layers() {
+        h = gru_layer_forward(layer, &h);
+    }
+    h
+}
+
+/// Unfused forward of one tanh RNN layer.
+pub fn rnn_layer_forward(layer: &RnnLayer, x: &Matrix) -> Matrix {
+    let t_len = x.rows;
+    let h = layer.hidden();
+    let mut out = Matrix::zeros(t_len, h);
+    let mut h_prev = vec![0.0; h];
+    for t in 0..t_len {
+        let mut z = layer.b.value.data.clone();
+        for (k, &xv) in x.row(t).iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (zv, &wv) in z.iter_mut().zip(layer.wx.value.row(k)) {
+                *zv += xv * wv;
+            }
+        }
+        for (k, &hv) in h_prev.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            for (zv, &wv) in z.iter_mut().zip(layer.wh.value.row(k)) {
+                *zv += hv * wv;
+            }
+        }
+        for zv in &mut z {
+            *zv = zv.tanh();
+        }
+        out.row_mut(t).copy_from_slice(&z);
+        h_prev = z;
+    }
+    out
+}
+
+/// Unfused forward through an RNN stack.
+pub fn rnn_forward(net: &Rnn, x: &Matrix) -> Matrix {
+    let mut h = x.clone();
+    for layer in net.layers() {
+        h = rnn_layer_forward(layer, &h);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn seq(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = init::rng(seed);
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect())
+    }
+
+    #[test]
+    fn reference_matches_fused_lstm() {
+        let l = Lstm::new(3, 5, 2, &mut init::rng(21));
+        let x = seq(9, 3, 22);
+        assert_eq!(lstm_forward(&l, &x), l.infer(&x));
+    }
+
+    #[test]
+    fn reference_matches_fused_gru() {
+        let g = Gru::new(3, 5, 2, &mut init::rng(23));
+        let x = seq(9, 3, 24);
+        assert_eq!(gru_forward(&g, &x), g.infer(&x));
+    }
+
+    #[test]
+    fn reference_matches_fused_rnn() {
+        let r = Rnn::new(3, 5, 2, &mut init::rng(25));
+        let x = seq(9, 3, 26);
+        assert_eq!(rnn_forward(&r, &x), r.infer(&x));
+    }
+}

@@ -6,6 +6,20 @@
 //! estimator; a single FC for the frozen RND target, orthogonally
 //! initialised with gain 16). [`EncoderKind`] swaps the encoder for the
 //! Fig. 8 ablation (RNN / Transformer).
+//!
+//! Scoring runs on the fused recurrent kernels: [`SequenceRegressor::predict_into`]
+//! draws all scratch from an internal pooled [`NnWorkspace`],
+//! [`SequenceRegressor::predict_batch`] packs equal-length sequences into
+//! time-major lanes for one fused pass per length bucket, and
+//! [`SequenceRegressor::encode_state`] / [`SequenceRegressor::predict_state_into`]
+//! let callers resume a recurrent encoder from a saved [`EncoderState`] so an
+//! extended sequence only pays for its new suffix (the prefix cache in
+//! `fastft-core` builds on this). All of these produce bitwise-identical
+//! results to one another because every path runs the same kernel with the
+//! same summation order.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 use crate::activation::Activation;
 use crate::dense::Dense;
@@ -17,6 +31,8 @@ use crate::matrix::{Matrix, Tensor};
 use crate::optim::Adam;
 use crate::rnn::Rnn;
 use crate::transformer::{add_positional_encoding, TransformerBlock};
+use crate::workspace::{LayerState, NnWorkspace};
+use fastft_runtime::Runtime;
 
 /// Which sequence encoder backs the regressor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +81,28 @@ enum Encoder {
     Transformer(Vec<TransformerBlock>),
 }
 
+/// Snapshot of a recurrent encoder after consuming a token prefix: one
+/// [`LayerState`] per stacked layer plus the prefix length. Feeding the
+/// remaining suffix through [`SequenceRegressor::encode_state`] reproduces
+/// the full-sequence encoding bitwise.
+#[derive(Debug, Clone)]
+pub struct EncoderState {
+    layers: Vec<LayerState>,
+    len: usize,
+}
+
+impl EncoderState {
+    /// Number of tokens consumed to reach this state.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no tokens have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Embedding → encoder → pooled state → dense head → scalar(s).
 #[derive(Debug, Clone)]
 pub struct SequenceRegressor {
@@ -74,6 +112,33 @@ pub struct SequenceRegressor {
     opt: Adam,
     kind: EncoderKind,
     cache_pool_len: usize,
+    /// Pooled scratch for the inference paths, which take `&self`.
+    ws: RefCell<NnWorkspace>,
+}
+
+/// Trainable parameters in stable order (embedding → encoder → head). Free
+/// function over disjoint fields so callers can still touch `opt` while the
+/// borrows are live.
+fn collect_params<'a>(
+    emb: &'a mut Embedding,
+    enc: &'a mut Encoder,
+    head: &'a mut [Dense],
+) -> Vec<&'a mut Tensor> {
+    let mut params = emb.parameters();
+    match enc {
+        Encoder::Lstm(l) => params.extend(l.parameters()),
+        Encoder::Rnn(r) => params.extend(r.parameters()),
+        Encoder::Gru(g) => params.extend(g.parameters()),
+        Encoder::Transformer(blocks) => {
+            for b in blocks.iter_mut() {
+                params.extend(b.parameters());
+            }
+        }
+    }
+    for layer in head.iter_mut() {
+        params.extend(layer.parameters());
+    }
+    params
 }
 
 impl SequenceRegressor {
@@ -117,7 +182,15 @@ impl SequenceRegressor {
             head.push(Dense::new(prev, d, act, &mut rng));
             prev = d;
         }
-        SequenceRegressor { emb, enc, head, opt: Adam::new(lr), kind, cache_pool_len: 0 }
+        SequenceRegressor {
+            emb,
+            enc,
+            head,
+            opt: Adam::new(lr),
+            kind,
+            cache_pool_len: 0,
+            ws: RefCell::new(NnWorkspace::new()),
+        }
     }
 
     /// Build a **frozen random target network** for random network
@@ -149,6 +222,7 @@ impl SequenceRegressor {
             opt: Adam::new(0.0),
             kind: EncoderKind::Lstm { layers },
             cache_pool_len: 0,
+            ws: RefCell::new(NnWorkspace::new()),
         }
     }
 
@@ -160,6 +234,13 @@ impl SequenceRegressor {
     /// Output dimension of the head.
     pub fn out_dim(&self) -> usize {
         self.head.last().unwrap().out_dim()
+    }
+
+    /// Whether the encoder supports incremental (state-resumable) encoding.
+    /// Recurrent encoders do; the Transformer re-attends over the whole
+    /// sequence and cannot resume from a fixed-size state.
+    pub fn supports_incremental(&self) -> bool {
+        !matches!(self.kind, EncoderKind::Transformer { .. })
     }
 
     fn encode_infer(&self, tokens: &[usize]) -> Matrix {
@@ -200,28 +281,150 @@ impl SequenceRegressor {
         }
     }
 
-    /// Predict head outputs for a token sequence (no caching; `&self`).
-    pub fn predict(&self, tokens: &[usize]) -> Vec<f64> {
-        let h = self.encode_infer(tokens);
-        let pooled = Self::pool(self.kind, &h);
-        let mut y = Matrix::row_vector(pooled);
+    /// Run the dense head on a pooled encoder state, writing into `out`.
+    /// Plain k-ascending accumulation so every scoring path sums in the same
+    /// order.
+    fn head_infer_into(&self, pooled: &[f64], out: &mut [f64], ws: &mut NnWorkspace) {
+        let mut cur = ws.take(pooled.len());
+        cur.copy_from_slice(pooled);
         for layer in &self.head {
-            y = layer.infer(&y);
+            let w = &layer.w.value;
+            let mut next = ws.take(w.cols);
+            next.copy_from_slice(&layer.b.value.data);
+            w.addmm_into(&cur, 1, &mut next);
+            for v in next.iter_mut() {
+                *v = layer.act.apply(*v);
+            }
+            ws.give(cur);
+            cur = next;
         }
-        y.data
+        out.copy_from_slice(&cur);
+        ws.give(cur);
     }
 
-    /// One gradient step minimising MSE against `target`; returns the loss
-    /// **before** the update.
-    pub fn train_step(&mut self, tokens: &[usize], target: &[f64]) -> f64 {
+    /// Predict head outputs for a token sequence (no caching; `&self`).
+    pub fn predict(&self, tokens: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0; self.out_dim()];
+        self.predict_into(tokens, &mut out);
+        out
+    }
+
+    /// [`SequenceRegressor::predict`] writing into a caller-provided slice;
+    /// draws all scratch from the internal workspace so steady-state scoring
+    /// allocates nothing.
+    pub fn predict_into(&self, tokens: &[usize], out: &mut [f64]) {
+        assert!(!tokens.is_empty(), "empty token sequence");
+        assert_eq!(out.len(), self.out_dim(), "output slice dim mismatch");
+        if !self.supports_incremental() {
+            let h = self.encode_infer(tokens);
+            let pooled = Self::pool(self.kind, &h);
+            let ws = &mut *self.ws.borrow_mut();
+            self.head_infer_into(&pooled, out, ws);
+            return;
+        }
+        let ws = &mut *self.ws.borrow_mut();
+        let mut x = ws.take_matrix(tokens.len(), self.emb.dim());
+        self.emb.infer_into(tokens, &mut x);
+        let h = match &self.enc {
+            Encoder::Lstm(l) => l.infer_batch(&x, 1, None, None, ws),
+            Encoder::Rnn(r) => r.infer_batch(&x, 1, None, None, ws),
+            Encoder::Gru(g) => g.infer_batch(&x, 1, None, None, ws),
+            Encoder::Transformer(_) => unreachable!("checked supports_incremental"),
+        };
+        ws.give_matrix(x);
+        self.head_infer_into(h.row(h.rows - 1), out, ws);
+        ws.give_matrix(h);
+    }
+
+    /// Score many sequences at once. Sequences are bucketed by length and
+    /// each bucket runs as one fused time-major pass, so the per-timestep
+    /// GEMMs amortise over all lanes. Every output is bitwise-identical to
+    /// calling [`SequenceRegressor::predict`] per sequence.
+    pub fn predict_batch(&self, seqs: &[&[usize]]) -> Vec<Vec<f64>> {
+        let k = self.out_dim();
+        let mut out = vec![vec![0.0; k]; seqs.len()];
+        if !self.supports_incremental() {
+            for (seq, o) in seqs.iter().zip(out.iter_mut()) {
+                self.predict_into(seq, o);
+            }
+            return out;
+        }
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, s) in seqs.iter().enumerate() {
+            assert!(!s.is_empty(), "empty token sequence");
+            buckets.entry(s.len()).or_default().push(i);
+        }
+        let ws = &mut *self.ws.borrow_mut();
+        for (&t_len, idxs) in &buckets {
+            let lanes = idxs.len();
+            let bucket: Vec<&[usize]> = idxs.iter().map(|&i| seqs[i]).collect();
+            let mut x = ws.take_matrix(t_len * lanes, self.emb.dim());
+            self.emb.infer_batch_into(&bucket, &mut x);
+            let h = match &self.enc {
+                Encoder::Lstm(l) => l.infer_batch(&x, lanes, None, None, ws),
+                Encoder::Rnn(r) => r.infer_batch(&x, lanes, None, None, ws),
+                Encoder::Gru(g) => g.infer_batch(&x, lanes, None, None, ws),
+                Encoder::Transformer(_) => unreachable!("checked supports_incremental"),
+            };
+            ws.give_matrix(x);
+            for (bi, &i) in idxs.iter().enumerate() {
+                self.head_infer_into(h.row((t_len - 1) * lanes + bi), &mut out[i], ws);
+            }
+            ws.give_matrix(h);
+        }
+        out
+    }
+
+    /// Encode `suffix` starting from `prefix` (or from scratch when `None`),
+    /// returning the resulting encoder state. The state after
+    /// `encode_state(None, &s[..k])` followed by `encode_state(Some(..), &s[k..])`
+    /// is bitwise-identical to `encode_state(None, &s)`.
+    ///
+    /// # Panics
+    /// Panics for Transformer encoders (see
+    /// [`SequenceRegressor::supports_incremental`]) or an empty suffix.
+    pub fn encode_state(&self, prefix: Option<&EncoderState>, suffix: &[usize]) -> EncoderState {
+        assert!(self.supports_incremental(), "incremental encoding needs a recurrent encoder");
+        assert!(!suffix.is_empty(), "empty suffix");
+        let ws = &mut *self.ws.borrow_mut();
+        let mut x = ws.take_matrix(suffix.len(), self.emb.dim());
+        self.emb.infer_into(suffix, &mut x);
+        let init: Option<Vec<&[LayerState]>> = prefix.map(|p| vec![p.layers.as_slice()]);
+        let mut states: Vec<Vec<LayerState>> = Vec::new();
+        let h = match &self.enc {
+            Encoder::Lstm(l) => l.infer_batch(&x, 1, init.as_deref(), Some(&mut states), ws),
+            Encoder::Rnn(r) => r.infer_batch(&x, 1, init.as_deref(), Some(&mut states), ws),
+            Encoder::Gru(g) => g.infer_batch(&x, 1, init.as_deref(), Some(&mut states), ws),
+            Encoder::Transformer(_) => unreachable!("checked supports_incremental"),
+        };
+        ws.give_matrix(x);
+        ws.give_matrix(h);
+        EncoderState {
+            layers: states.pop().expect("one lane"),
+            len: prefix.map_or(0, EncoderState::len) + suffix.len(),
+        }
+    }
+
+    /// Run the head on a saved encoder state (last layer's hidden is the
+    /// pooled representation, as in [`SequenceRegressor::predict`]).
+    pub fn predict_state_into(&self, state: &EncoderState, out: &mut [f64]) {
+        assert_eq!(out.len(), self.out_dim(), "output slice dim mismatch");
+        let ws = &mut *self.ws.borrow_mut();
+        self.head_infer_into(&state.layers.last().expect("non-empty state").h, out, ws);
+    }
+
+    /// Forward + backward for one example, accumulating parameter gradients
+    /// without applying an optimizer update. Returns the example's MSE loss.
+    pub fn accumulate_gradients(&mut self, tokens: &[usize], target: &[f64]) -> f64 {
         assert!(!tokens.is_empty(), "empty token sequence");
         assert_eq!(target.len(), self.out_dim(), "target dim mismatch");
+        let ws = self.ws.get_mut();
         // Forward with caches.
         let mut x = self.emb.forward(tokens);
         let h = match &mut self.enc {
-            Encoder::Lstm(l) => l.forward(&x),
-            Encoder::Rnn(r) => r.forward(&x),
-            Encoder::Gru(g) => g.forward(&x),
+            Encoder::Lstm(l) => l.forward_ws(&x, ws),
+            Encoder::Rnn(r) => r.forward_ws(&x, ws),
+            Encoder::Gru(g) => g.forward_ws(&x, ws),
             Encoder::Transformer(blocks) => {
                 add_positional_encoding(&mut x);
                 let mut h = x.clone();
@@ -233,6 +436,7 @@ impl SequenceRegressor {
         };
         self.cache_pool_len = h.rows;
         let pooled = Self::pool(self.kind, &h);
+        ws.give_matrix(h);
         let mut y = Matrix::row_vector(pooled);
         for layer in &mut self.head {
             y = layer.forward(&y);
@@ -250,12 +454,12 @@ impl SequenceRegressor {
         let t_len = self.cache_pool_len;
         let dh = match self.kind {
             EncoderKind::Lstm { .. } | EncoderKind::Rnn { .. } | EncoderKind::Gru { .. } => {
-                let mut dh = Matrix::zeros(t_len, d_pooled.cols);
+                let mut dh = ws.take_matrix(t_len, d_pooled.cols);
                 dh.row_mut(t_len - 1).copy_from_slice(d_pooled.row(0));
                 dh
             }
             EncoderKind::Transformer { .. } => {
-                let mut dh = Matrix::zeros(t_len, d_pooled.cols);
+                let mut dh = ws.take_matrix(t_len, d_pooled.cols);
                 let inv = 1.0 / t_len as f64;
                 for r in 0..t_len {
                     for (d, &g) in dh.row_mut(r).iter_mut().zip(d_pooled.row(0)) {
@@ -266,35 +470,71 @@ impl SequenceRegressor {
             }
         };
         let dx = match &mut self.enc {
-            Encoder::Lstm(l) => l.backward(&dh),
-            Encoder::Rnn(r) => r.backward(&dh),
-            Encoder::Gru(g) => g.backward(&dh),
+            Encoder::Lstm(l) => l.backward_ws(&dh, ws),
+            Encoder::Rnn(r) => r.backward_ws(&dh, ws),
+            Encoder::Gru(g) => g.backward_ws(&dh, ws),
             Encoder::Transformer(blocks) => {
-                let mut d = dh;
+                let mut d = dh.clone();
                 for b in blocks.iter_mut().rev() {
                     d = b.backward(&d);
                 }
                 d
             }
         };
+        ws.give_matrix(dh);
         self.emb.backward(&dx);
-        // Update.
-        let mut params: Vec<&mut Tensor> = self.emb.parameters();
-        match &mut self.enc {
-            Encoder::Lstm(l) => params.extend(l.parameters()),
-            Encoder::Rnn(r) => params.extend(r.parameters()),
-            Encoder::Gru(g) => params.extend(g.parameters()),
-            Encoder::Transformer(blocks) => {
-                for b in blocks.iter_mut() {
-                    params.extend(b.parameters());
+        ws.give_matrix(dx);
+        loss
+    }
+
+    /// One gradient step minimising MSE against `target`; returns the loss
+    /// **before** the update.
+    pub fn train_step(&mut self, tokens: &[usize], target: &[f64]) -> f64 {
+        let loss = self.accumulate_gradients(tokens, target);
+        let params = collect_params(&mut self.emb, &mut self.enc, &mut self.head);
+        self.opt.step(params);
+        loss
+    }
+
+    /// One optimizer step over a minibatch: gradient accumulation fans out
+    /// over `runtime` in fixed-size chunks of 8 examples, each chunk running
+    /// on its own clone of the model, and the chunk gradients are reduced in
+    /// chunk order and scaled by `1/n` before a single Adam step. The chunk
+    /// size and reduction order are independent of the worker count, so the
+    /// result is identical for any `Runtime` size. Returns the mean
+    /// pre-update loss.
+    pub fn train_minibatch(&mut self, items: &[(&[usize], &[f64])], runtime: &Runtime) -> f64 {
+        assert!(!items.is_empty(), "empty minibatch");
+        const CHUNK: usize = 8;
+        type Job<'a> = (SequenceRegressor, &'a [(&'a [usize], &'a [f64])]);
+        let jobs: Vec<Job> = items.chunks(CHUNK).map(|c| (self.clone(), c)).collect();
+        let results: Vec<(f64, Vec<Vec<f64>>)> = runtime.par_map(jobs, |(mut model, chunk)| {
+            let mut loss = 0.0;
+            for (tokens, target) in chunk {
+                loss += model.accumulate_gradients(tokens, target);
+            }
+            let grads = collect_params(&mut model.emb, &mut model.enc, &mut model.head)
+                .iter()
+                .map(|p| p.grad.data.clone())
+                .collect();
+            (loss, grads)
+        });
+        let inv = 1.0 / items.len() as f64;
+        let mut params = collect_params(&mut self.emb, &mut self.enc, &mut self.head);
+        for p in params.iter_mut() {
+            p.zero_grad();
+        }
+        let mut total_loss = 0.0;
+        for (loss, grads) in &results {
+            total_loss += loss;
+            for (p, g) in params.iter_mut().zip(grads) {
+                for (pv, gv) in p.grad.data.iter_mut().zip(g) {
+                    *pv += gv * inv;
                 }
             }
         }
-        for layer in &mut self.head {
-            params.extend(layer.parameters());
-        }
         self.opt.step(params);
-        loss
+        total_loss * inv
     }
 
     /// Total trainable parameter count (Fig. 11 memory accounting).
@@ -426,6 +666,89 @@ mod tests {
             SequenceRegressor::new(10, 8, 8, EncoderKind::Lstm { layers: 2 }, &[16, 1], 0.01, 3);
         let toks = vec![1, 2, 3];
         assert_eq!(m.predict(&toks), m.predict(&toks));
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        for kind in [
+            EncoderKind::Lstm { layers: 2 },
+            EncoderKind::Gru { layers: 2 },
+            EncoderKind::Rnn { layers: 1 },
+            EncoderKind::Transformer { heads: 2, blocks: 1 },
+        ] {
+            let m = SequenceRegressor::new(10, 8, 8, kind, &[8, 1], 0.01, 3);
+            let toks = [1usize, 2, 3, 4, 5];
+            let mut out = [0.0];
+            m.predict_into(&toks, &mut out);
+            assert_eq!(out.to_vec(), m.predict(&toks), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let m = SequenceRegressor::new(10, 8, 8, EncoderKind::Lstm { layers: 2 }, &[8, 1], 0.01, 5);
+        let seqs: Vec<Vec<usize>> =
+            vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8], vec![9], vec![2, 4]];
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let batched = m.predict_batch(&refs);
+        for (seq, b) in seqs.iter().zip(&batched) {
+            assert_eq!(*b, m.predict(seq));
+        }
+    }
+
+    #[test]
+    fn encode_state_resumes_bitwise() {
+        for kind in [
+            EncoderKind::Lstm { layers: 2 },
+            EncoderKind::Gru { layers: 2 },
+            EncoderKind::Rnn { layers: 2 },
+        ] {
+            let m = SequenceRegressor::new(10, 8, 8, kind, &[8, 1], 0.01, 7);
+            let toks = [3usize, 1, 4, 1, 5, 9];
+            let cold = m.encode_state(None, &toks);
+            let prefix = m.encode_state(None, &toks[..4]);
+            assert_eq!(prefix.len(), 4);
+            let resumed = m.encode_state(Some(&prefix), &toks[4..]);
+            assert_eq!(resumed.len(), 6);
+            let mut a = [0.0];
+            let mut b = [0.0];
+            m.predict_state_into(&cold, &mut a);
+            m.predict_state_into(&resumed, &mut b);
+            assert_eq!(a, b, "{}", kind.label());
+            // State-based scoring equals the plain predict path.
+            assert_eq!(a.to_vec(), m.predict(&toks), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn minibatch_matches_across_worker_counts() {
+        let items: Vec<(Vec<usize>, Vec<f64>)> = (0..20)
+            .map(|i| {
+                let toks: Vec<usize> = (0..3 + i % 4).map(|j| (i + j) % 10).collect();
+                let t = target_of(&toks);
+                (toks, vec![t])
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut m = SequenceRegressor::new(
+                10,
+                8,
+                8,
+                EncoderKind::Lstm { layers: 2 },
+                &[8, 1],
+                0.01,
+                11,
+            );
+            let rt = Runtime::new(threads);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                let batch: Vec<(&[usize], &[f64])> =
+                    items.iter().map(|(t, y)| (t.as_slice(), y.as_slice())).collect();
+                losses.push(m.train_minibatch(&batch, &rt));
+            }
+            (losses, m.predict(&[1, 2, 3, 4]))
+        };
+        assert_eq!(run(1), run(4), "minibatch training must not depend on worker count");
     }
 
     #[test]

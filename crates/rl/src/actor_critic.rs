@@ -30,10 +30,17 @@ impl Actor {
         Actor { net: Mlp::new(&[candidate_dim, hidden, 1], seed), opt: Adam::new(lr) }
     }
 
-    /// Softmax policy over a candidate set.
+    /// Softmax policy over a candidate set. All candidates are scored with
+    /// one batched MLP pass; each row is bitwise identical to scoring it
+    /// alone.
     pub fn policy(&self, candidates: &[Vec<f64>]) -> Vec<f64> {
         assert!(!candidates.is_empty(), "empty candidate set");
-        let mut logits: Vec<f64> = candidates.iter().map(|c| self.net.infer_vec(c)[0]).collect();
+        let dim = candidates[0].len();
+        let mut batch = Matrix::zeros(candidates.len(), dim);
+        for (r, c) in candidates.iter().enumerate() {
+            batch.row_mut(r).copy_from_slice(c);
+        }
+        let mut logits = self.net.infer(&batch).data;
         softmax_inplace(&mut logits);
         logits
     }
@@ -272,6 +279,18 @@ mod tests {
         }
         assert_eq!(actor.select_greedy(&candidates_for(0)), 0);
         assert_eq!(actor.select_greedy(&candidates_for(1)), 1);
+    }
+
+    #[test]
+    fn batched_policy_matches_per_candidate_scoring() {
+        let actor = Actor::new(3, 8, 0.01, 9);
+        for ctx in 0..2 {
+            let cands = candidates_for(ctx);
+            let p = actor.policy(&cands);
+            let mut logits: Vec<f64> = cands.iter().map(|c| actor.net.infer_vec(c)[0]).collect();
+            softmax_inplace(&mut logits);
+            assert_eq!(p, logits);
+        }
     }
 
     #[test]

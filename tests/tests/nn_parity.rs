@@ -1,0 +1,172 @@
+//! Parity suite for the fused NN hot path (PR 3).
+//!
+//! The fused kernels, batched inference, prefix-cached scoring, and
+//! minibatch training are pure performance work: every one of them must
+//! produce **bitwise identical** numbers to the straightforward reference
+//! path. Each test here pins one of those equivalences at the integration
+//! level, across crate boundaries.
+
+use fastft_core::novelty::NoveltyEstimator;
+use fastft_core::predictor::{PerformancePredictor, PredictorConfig};
+use fastft_core::scoring::PrefixCache;
+use fastft_nn::gradcheck::{assert_close, central_difference};
+use fastft_nn::lstm::Lstm;
+use fastft_nn::matrix::Matrix;
+use fastft_nn::{init, reference, EncoderKind, SequenceRegressor};
+use fastft_runtime::Runtime;
+
+fn test_input(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|i| (i as f64 * 0.37).sin() * 0.8).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn sequences() -> Vec<Vec<usize>> {
+    vec![
+        vec![1, 2, 3],
+        vec![1, 2, 3, 4, 5],
+        vec![1, 2, 3, 4, 5, 6, 7],
+        vec![9, 8, 7, 6],
+        vec![5],
+        vec![2, 2, 2, 2, 2, 2, 2, 2, 2],
+    ]
+}
+
+fn encoder_kinds() -> Vec<EncoderKind> {
+    vec![
+        EncoderKind::Lstm { layers: 2 },
+        EncoderKind::Gru { layers: 2 },
+        EncoderKind::Rnn { layers: 1 },
+        EncoderKind::Transformer { blocks: 1, heads: 2 },
+    ]
+}
+
+#[test]
+fn fused_forward_matches_unfused_reference() {
+    let mut rng = init::rng(11);
+    let x = test_input(9, 6);
+    let lstm = Lstm::new(6, 8, 2, &mut rng);
+    assert_eq!(lstm.infer(&x).data, reference::lstm_forward(&lstm, &x).data);
+    let gru = fastft_nn::gru::Gru::new(6, 8, 2, &mut rng);
+    assert_eq!(gru.infer(&x).data, reference::gru_forward(&gru, &x).data);
+    let rnn = fastft_nn::rnn::Rnn::new(6, 8, 2, &mut rng);
+    assert_eq!(rnn.infer(&x).data, reference::rnn_forward(&rnn, &x).data);
+}
+
+/// Check the fused backward against central differences computed with the
+/// *unfused* reference forward: if the fused forward or backward deviated
+/// from the reference semantics, the gradients would not match.
+#[test]
+fn fused_backward_gradchecks_against_reference_forward() {
+    let mut rng = init::rng(13);
+    let x = test_input(6, 4);
+    let mut net = Lstm::new(4, 5, 2, &mut rng);
+    let out = net.forward(&x);
+    let d_out = Matrix::from_vec(out.rows, out.cols, vec![1.0; out.rows * out.cols]);
+    net.backward(&d_out);
+    let analytic: Vec<Vec<f64>> = net.parameters().iter().map(|t| t.grad.data.clone()).collect();
+    for (p, grads) in analytic.iter().enumerate() {
+        let n = grads.len();
+        for e in [0, n / 2, n - 1] {
+            let numeric = central_difference(
+                |d| {
+                    net.parameters()[p].value.data[e] += d;
+                    let loss: f64 = reference::lstm_forward(&net, &x).data.iter().sum();
+                    net.parameters()[p].value.data[e] -= d;
+                    loss
+                },
+                1e-5,
+            );
+            assert_close(grads[e], numeric, 1e-5, &format!("param {p} elem {e}"));
+        }
+    }
+}
+
+#[test]
+fn predict_batch_is_bitwise_identical_to_predict() {
+    let seqs = sequences();
+    let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+    for kind in encoder_kinds() {
+        let net = SequenceRegressor::new(12, 8, 8, kind, &[6, 1], 1e-3, 17);
+        let batched = net.predict_batch(&refs);
+        for (seq, row) in seqs.iter().zip(&batched) {
+            assert_eq!(row, &net.predict(seq), "{kind:?} {seq:?}");
+        }
+    }
+}
+
+#[test]
+fn prefix_cached_scoring_is_bitwise_identical_to_cold() {
+    for kind in encoder_kinds() {
+        let net = SequenceRegressor::new(12, 8, 8, kind, &[6, 1], 1e-3, 19);
+        let mut cache = PrefixCache::new(32);
+        // Score a growing sequence twice: the second pass runs entirely from
+        // cached prefix states.
+        let full: Vec<usize> = vec![1, 4, 2, 8, 5, 7, 1, 3];
+        for _ in 0..2 {
+            for l in 1..=full.len() {
+                let mut got = [0.0];
+                cache.score_into(&net, &full[..l], &mut got);
+                assert_eq!(got[0], net.predict(&full[..l])[0], "{kind:?} len {l}");
+            }
+        }
+    }
+}
+
+#[test]
+fn predictor_cached_and_batched_paths_match_plain_predict() {
+    let mut p = PerformancePredictor::new(12, PredictorConfig::default(), 23);
+    let seqs = sequences();
+    for seq in &seqs {
+        assert_eq!(p.predict_cached(seq), p.predict(seq));
+    }
+    let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+    let mut out = vec![0.0; seqs.len()];
+    p.predict_batch(&refs, &mut out);
+    for (seq, got) in seqs.iter().zip(&out) {
+        assert_eq!(*got, p.predict(seq));
+    }
+    // Training invalidates the cache; the cached path must track the new
+    // weights instead of serving stale states.
+    p.train_step(&seqs[0], 0.5);
+    for seq in &seqs {
+        assert_eq!(p.predict_cached(seq), p.predict(seq));
+    }
+}
+
+#[test]
+fn novelty_cached_path_matches_plain_novelty() {
+    let mut ne = NoveltyEstimator::new(12, PredictorConfig::default(), 29);
+    let seqs = sequences();
+    for seq in &seqs {
+        assert_eq!(ne.novelty_cached(seq), ne.novelty(seq));
+    }
+    ne.train_step(&seqs[0]);
+    for seq in &seqs {
+        assert_eq!(ne.novelty_cached(seq), ne.novelty(seq), "stale cache after training");
+    }
+}
+
+#[test]
+fn minibatch_training_is_identical_across_worker_counts() {
+    let seqs = sequences();
+    let items: Vec<(&[usize], f64)> =
+        seqs.iter().enumerate().map(|(i, s)| (s.as_slice(), 0.1 * i as f64)).collect();
+    let train = |threads: usize| {
+        let mut p = PerformancePredictor::new(12, PredictorConfig::default(), 31);
+        let mut ne = NoveltyEstimator::new(12, PredictorConfig::default(), 31);
+        let rt = Runtime::new(threads);
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let mut losses = Vec::new();
+        for _ in 0..3 {
+            losses.push(p.train_minibatch(&items, &rt));
+            losses.push(ne.train_minibatch(&refs, &rt));
+        }
+        let preds: Vec<f64> = seqs.iter().map(|s| p.predict(s)).collect();
+        let novs: Vec<f64> = seqs.iter().map(|s| ne.novelty(s)).collect();
+        (losses, preds, novs)
+    };
+    let serial = train(1);
+    for threads in [2, 4] {
+        assert_eq!(train(threads), serial, "threads {threads}");
+    }
+}
