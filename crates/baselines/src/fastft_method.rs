@@ -27,7 +27,7 @@ impl FeatureTransformMethod for FastFtMethod {
     fn run(&self, data: &Dataset, ctx: &RunContext) -> FastFtResult<TransformOutcome> {
         let scope = RunScope::start();
         let cfg = FastFtConfig {
-            evaluator: *ctx.evaluator,
+            evaluator: ctx.evaluator.clone(),
             seed: ctx.seed,
             threads: ctx.runtime.threads(),
             ..self.cfg.clone()

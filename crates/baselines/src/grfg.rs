@@ -39,7 +39,7 @@ impl FeatureTransformMethod for Grfg {
             episodes: self.episodes,
             steps_per_episode: self.steps_per_episode,
             cold_start_episodes: self.episodes, // downstream feedback throughout
-            evaluator: *ctx.evaluator,
+            evaluator: ctx.evaluator.clone(),
             seed: ctx.seed,
             threads: ctx.runtime.threads(),
             use_predictor: false,

@@ -25,7 +25,7 @@ pub fn run(scale: Scale) {
         // …then re-score the *same* transformed dataset under each model.
         let mut cells = vec![method.name().to_string()];
         for model in ModelKind::TABLE3 {
-            let ev = Evaluator { model, ..evaluator };
+            let ev = Evaluator { model, ..evaluator.clone() };
             cells.push(fmt3(ev.evaluate(result.dataset()).expect("re-score")));
         }
         table.row(cells);

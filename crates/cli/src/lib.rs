@@ -21,7 +21,9 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `fastft run --data x.csv --task classification [--classes N]
-    /// [--episodes N] [--steps N] [--seed N] [--out features.txt]`
+    /// [--episodes N] [--steps N] [--seed N] [--out features.txt]
+    /// [--max-seconds S] [--max-evals N] [--checkpoint ckpt.bin]
+    /// [--checkpoint-every N] [--resume ckpt.bin]`
     Run {
         /// Input CSV (last column = target).
         data: PathBuf,
@@ -37,6 +39,17 @@ pub enum Command {
         seed: u64,
         /// Where to save the feature set (optional).
         out: Option<PathBuf>,
+        /// Wall-clock budget in seconds (0 = unlimited).
+        max_seconds: f64,
+        /// Downstream-evaluation budget (0 = unlimited).
+        max_evals: usize,
+        /// Checkpoint file, written every `checkpoint_every` episodes.
+        checkpoint: Option<PathBuf>,
+        /// Episode cadence for checkpoint writes.
+        checkpoint_every: usize,
+        /// Resume from this checkpoint instead of starting fresh
+        /// (`--episodes`/`--steps`/`--seed` come from the checkpoint).
+        resume: Option<PathBuf>,
     },
     /// `fastft apply --data x.csv --features features.txt --task t
     /// [--classes N] --out transformed.csv`
@@ -77,6 +90,10 @@ USAGE:
   fastft run      --data <csv> --task <classification|regression|detection>
                   [--classes N] [--episodes N] [--steps N] [--seed N]
                   [--out features.txt]
+                  [--max-seconds S] [--max-evals N]        run budgets (0 = off)
+                  [--checkpoint <file>] [--checkpoint-every N]
+                  [--resume <file>]     continue a checkpointed run (episode/
+                                        step/seed settings come from the file)
   fastft apply    --data <csv> --features <file> --task <t> [--classes N]
                   --out <csv>
   fastft generate --name <dataset> [--rows N] [--seed N] --out <csv>
@@ -120,6 +137,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Some(v) => v.parse().map_err(|e| format!("--{k}: {e}")),
         }
     };
+    let parse_f64 = |k: &str, default: f64| -> Result<f64, String> {
+        match flags.get(k) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{k}: {e}")),
+        }
+    };
     match cmd.as_str() {
         "run" => Ok(Command::Run {
             data: PathBuf::from(get("data")?),
@@ -129,6 +152,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             steps: parse_usize("steps", 8)?,
             seed: parse_usize("seed", 0)? as u64,
             out: flags.get("out").map(PathBuf::from),
+            max_seconds: parse_f64("max-seconds", 0.0)?,
+            max_evals: parse_usize("max-evals", 0)?,
+            checkpoint: flags.get("checkpoint").map(PathBuf::from),
+            checkpoint_every: parse_usize("checkpoint-every", 1)?,
+            resume: flags.get("resume").map(PathBuf::from),
         }),
         "apply" => Ok(Command::Apply {
             data: PathBuf::from(get("data")?),
@@ -183,7 +211,20 @@ pub fn execute(cmd: Command) -> FastFtResult<()> {
             );
             Ok(())
         }
-        Command::Run { data, task, classes, episodes, steps, seed, out } => {
+        Command::Run {
+            data,
+            task,
+            classes,
+            episodes,
+            steps,
+            seed,
+            out,
+            max_seconds,
+            max_evals,
+            checkpoint,
+            checkpoint_every,
+            resume,
+        } => {
             let mut d = load_csv(&data, task, classes)?;
             impute::impute(&mut d, impute::ImputeStrategy::Median);
             d.sanitize();
@@ -193,15 +234,38 @@ pub fn execute(cmd: Command) -> FastFtResult<()> {
                 d.n_rows(),
                 d.n_features()
             );
-            let cfg = FastFtConfig {
-                episodes,
-                steps_per_episode: steps,
-                cold_start_episodes: (episodes / 4).max(1),
-                seed,
-                evaluator: Evaluator::default(),
-                ..FastFtConfig::quick()
+            let result = if let Some(ckpt) = resume {
+                println!("resuming from {}", ckpt.display());
+                // The checkpoint carries the run's configuration; the CLI
+                // only overrides budgets and checkpointing, which are safe
+                // to change without breaking resume parity.
+                FastFt::resume_with(&ckpt, &d, |cfg| {
+                    cfg.max_wall_secs = max_seconds;
+                    cfg.max_downstream_evals = max_evals;
+                    if let Some(path) = checkpoint {
+                        cfg.checkpoint_path = Some(path);
+                        cfg.checkpoint_every = checkpoint_every.max(1);
+                    }
+                })?
+            } else {
+                let cfg = FastFtConfig {
+                    episodes,
+                    steps_per_episode: steps,
+                    cold_start_episodes: (episodes / 4).max(1),
+                    seed,
+                    evaluator: Evaluator::default(),
+                    max_wall_secs: max_seconds,
+                    max_downstream_evals: max_evals,
+                    checkpoint_every: if checkpoint.is_some() {
+                        checkpoint_every.max(1)
+                    } else {
+                        0
+                    },
+                    checkpoint_path: checkpoint,
+                    ..FastFtConfig::quick()
+                };
+                FastFt::new(cfg).fit(&d)?
             };
-            let result = FastFt::new(cfg).fit(&d)?;
             print!("{}", summary(&result));
             if let Some(out) = out {
                 std::fs::write(&out, save_feature_set(&result.best_exprs))
@@ -263,8 +327,33 @@ mod tests {
                 steps: 8,
                 seed: 3,
                 out: Some(PathBuf::from("f.txt")),
+                max_seconds: 0.0,
+                max_evals: 0,
+                checkpoint: None,
+                checkpoint_every: 1,
+                resume: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_budget_and_checkpoint_flags() {
+        let cmd = parse_args(&argv(
+            "run --data x.csv --task c --max-seconds 1.5 --max-evals 40 \
+             --checkpoint c.bin --checkpoint-every 2 --resume old.bin",
+        ))
+        .unwrap();
+        let Command::Run { max_seconds, max_evals, checkpoint, checkpoint_every, resume, .. } = cmd
+        else {
+            panic!("expected run command");
+        };
+        assert_eq!(max_seconds, 1.5);
+        assert_eq!(max_evals, 40);
+        assert_eq!(checkpoint, Some(PathBuf::from("c.bin")));
+        assert_eq!(checkpoint_every, 2);
+        assert_eq!(resume, Some(PathBuf::from("old.bin")));
+        let err = parse_args(&argv("run --data x.csv --task c --max-seconds lots")).unwrap_err();
+        assert!(err.contains("--max-seconds"), "{err}");
     }
 
     #[test]
@@ -315,6 +404,11 @@ mod tests {
             steps: 2,
             seed: 0,
             out: Some(feats.clone()),
+            max_seconds: 0.0,
+            max_evals: 0,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: None,
         })
         .unwrap();
         let text = std::fs::read_to_string(&feats).unwrap();
@@ -339,5 +433,60 @@ mod tests {
     fn datasets_and_help_execute() {
         execute(Command::Datasets).unwrap();
         execute(Command::Help).unwrap();
+    }
+
+    #[test]
+    fn run_checkpoints_and_resumes_via_cli() {
+        let dir = std::env::temp_dir().join("fastft_cli_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pima.csv");
+        let ckpt = dir.join("run.ckpt");
+        let feats = dir.join("features.txt");
+        execute(Command::Generate {
+            name: "pima_indian".into(),
+            rows: 100,
+            seed: 0,
+            out: csv.clone(),
+        })
+        .unwrap();
+
+        // First run: eval budget stops it early, leaving a checkpoint.
+        let budgeted = Command::Run {
+            data: csv.clone(),
+            task: TaskType::Classification,
+            classes: 2,
+            episodes: 3,
+            steps: 2,
+            seed: 0,
+            out: None,
+            max_seconds: 0.0,
+            max_evals: 4,
+            checkpoint: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            resume: None,
+        };
+        execute(budgeted).unwrap();
+        assert!(ckpt.exists(), "budget-stopped run should leave a checkpoint");
+
+        // Second run: resume with the budget lifted and finish.
+        execute(Command::Run {
+            data: csv.clone(),
+            task: TaskType::Classification,
+            classes: 2,
+            episodes: 0, // ignored on resume; the checkpoint's config wins
+            steps: 0,
+            seed: 99,
+            out: Some(feats.clone()),
+            max_seconds: 0.0,
+            max_evals: 0,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: Some(ckpt.clone()),
+        })
+        .unwrap();
+        assert!(!std::fs::read_to_string(&feats).unwrap().trim().is_empty());
+        for p in [csv, ckpt, feats] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

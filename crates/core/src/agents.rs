@@ -7,8 +7,9 @@
 //! ablation.
 
 use crate::state::{HEAD_DIM, OP_DIM, TAIL_DIM};
+use fastft_nn::NetState;
 use fastft_rl::actor_critic::{Actor, Critic};
-use fastft_rl::dqn::{QAgent, QKind};
+use fastft_rl::dqn::{QAgent, QAgentState, QKind};
 use fastft_rl::schedule::LinearDecay;
 use fastft_tabular::rngx::StdRng;
 
@@ -34,7 +35,7 @@ pub enum Role {
 
 /// One remembered decision: the candidate set shown to an agent and the
 /// index it chose.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
     /// Candidate vectors at selection time.
     pub candidates: Vec<Vec<f64>>,
@@ -45,7 +46,7 @@ pub struct Decision {
 /// A full memory unit `m = <s, a, r, s', T, v>` (§III-D "Memory
 /// Collection") — the three decisions plus reward, state pair, the token
 /// sequence and its (estimated or evaluated) performance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryUnit {
     /// `Rep(F̂)` before the step.
     pub state: Vec<f64>,
@@ -88,6 +89,34 @@ pub struct CascadingAgents {
     learner: Learner,
     /// Discount factor γ.
     pub gamma: f64,
+}
+
+/// Snapshot of every learnable parameter of the cascading system, matching
+/// the active [`RlKind`] (checkpoint/resume support).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentsState {
+    /// Actor-critic weights: three actors plus the shared critic.
+    Ac {
+        /// Head-actor network.
+        head: NetState,
+        /// Operation-actor network.
+        op: NetState,
+        /// Tail-actor network.
+        tail: NetState,
+        /// Shared critic network.
+        critic: NetState,
+    },
+    /// Q-family weights plus the ε-greedy schedule position.
+    Q {
+        /// Head Q-agent (online + target nets).
+        head: QAgentState,
+        /// Operation Q-agent.
+        op: QAgentState,
+        /// Tail Q-agent.
+        tail: QAgentState,
+        /// ε-decay schedule step.
+        eps_step: u64,
+    },
 }
 
 impl CascadingAgents {
@@ -202,6 +231,49 @@ impl CascadingAgents {
             }
         }
     }
+
+    /// Capture every learnable parameter (checkpoint export).
+    pub fn save_state(&mut self) -> AgentsState {
+        match &mut self.learner {
+            Learner::Ac { head, op, tail, critic } => AgentsState::Ac {
+                head: head.save_state(),
+                op: op.save_state(),
+                tail: tail.save_state(),
+                critic: critic.save_state(),
+            },
+            Learner::Q(q) => AgentsState::Q {
+                head: q.head.save_state(),
+                op: q.op.save_state(),
+                tail: q.tail.save_state(),
+                eps_step: q.step as u64,
+            },
+        }
+    }
+
+    /// Restore from a snapshot taken on an identically-configured system.
+    /// Fails when the snapshot's framework or any network shape does not
+    /// match (each network validates shapes before writing).
+    pub fn load_state(&mut self, state: &AgentsState) -> Result<(), String> {
+        match (&mut self.learner, state) {
+            (
+                Learner::Ac { head, op, tail, critic },
+                AgentsState::Ac { head: h, op: o, tail: t, critic: c },
+            ) => {
+                head.load_state(h)?;
+                op.load_state(o)?;
+                tail.load_state(t)?;
+                critic.load_state(c)
+            }
+            (Learner::Q(q), AgentsState::Q { head: h, op: o, tail: t, eps_step }) => {
+                q.head.load_state(h)?;
+                q.op.load_state(o)?;
+                q.tail.load_state(t)?;
+                q.step = *eps_step as usize;
+                Ok(())
+            }
+            _ => Err("agents snapshot does not match the configured RL framework".into()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +348,42 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(after > before, "π(a) before {before}, after {after}");
+    }
+
+    #[test]
+    fn save_load_round_trips_for_all_kinds() {
+        for kind in [RlKind::ActorCritic, RlKind::Q(QKind::DoubleDqn)] {
+            let mut trained = CascadingAgents::new(kind, 8, 0.01, 7);
+            let mem = dummy_mem(2.0);
+            for _ in 0..10 {
+                trained.learn(&mem);
+            }
+            let state = trained.save_state();
+            let mut fresh = CascadingAgents::new(kind, 8, 0.01, 99);
+            assert_ne!(fresh.td_error(&mem), trained.td_error(&mem));
+            fresh.load_state(&state).unwrap();
+            assert_eq!(fresh.td_error(&mem), trained.td_error(&mem));
+            assert_eq!(fresh.save_state(), state);
+            // Restored agents select identically under the same RNG stream.
+            let mut r1 = rngx::rng(11);
+            let mut r2 = rngx::rng(11);
+            let cands = vec![vec![0.2; HEAD_DIM]; 4];
+            for _ in 0..10 {
+                assert_eq!(
+                    trained.select(Role::Head, &cands, &mut r1),
+                    fresh.select(Role::Head, &cands, &mut r2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_framework_mismatch() {
+        let mut ac = CascadingAgents::new(RlKind::ActorCritic, 8, 0.01, 1);
+        let mut q = CascadingAgents::new(RlKind::Q(QKind::Dqn), 8, 0.01, 1);
+        let qs = q.save_state();
+        assert!(ac.load_state(&qs).is_err());
+        assert!(q.load_state(&ac.save_state()).is_err());
     }
 
     #[test]

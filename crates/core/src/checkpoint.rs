@@ -1,0 +1,1173 @@
+//! Crash-safe run checkpoints: a versioned, dependency-free binary
+//! snapshot of every piece of engine state that influences the remainder
+//! of a run.
+//!
+//! The engine writes a checkpoint at episode boundaries
+//! ([`FastFtConfig::checkpoint_every`]) and
+//! [`FastFt::resume`](crate::engine::FastFt::resume) continues a killed
+//! run **bitwise identically** to an uninterrupted one: agent/predictor/
+//! estimator weights and optimiser moments, the replay buffer (slot
+//! order, priorities, write cursor), the RNG stream position, the memo-cache
+//! contents in recency order, percentile histories and Welford novelty
+//! stats, the best-so-far feature set and the full telemetry counters all
+//! round-trip through the file. Wall-time-only state (the encoder prefix
+//! caches) is deliberately *not* captured — it is rebuilt cold, which
+//! changes `prefix_hits`/`prefix_misses` but never a score.
+//!
+//! Format: magic `FFTCKPT1`, a `u32` version, then the configuration and
+//! snapshot in a little-endian binary layout (`f64` as IEEE-754 bits, so
+//! floats survive exactly). Files are written to a temporary sibling and
+//! atomically renamed into place, so a crash mid-write never corrupts the
+//! previous checkpoint.
+//!
+//! [`FastFtConfig::checkpoint_every`]: crate::config::FastFtConfig::checkpoint_every
+
+use crate::agents::{AgentsState, Decision, MemoryUnit};
+use crate::config::FastFtConfig;
+use crate::engine::{StepRecord, Telemetry};
+use crate::scoring::{ScoreStats, BATCH_HIST_BUCKETS};
+use fastft_ml::{Evaluator, ModelKind, SplitMethod};
+use fastft_nn::{EncoderKind, NetState};
+use fastft_rl::{QAgentState, QKind};
+use fastft_tabular::metrics::Metric;
+use fastft_tabular::{Dataset, FastFtError, FastFtResult, TaskType};
+use std::path::Path;
+
+/// File magic: identifies a FASTFT checkpoint.
+pub const MAGIC: [u8; 8] = *b"FFTCKPT1";
+/// Current format version. Bumped on any layout change; older readers
+/// reject newer files with a typed error instead of misparsing them.
+pub const VERSION: u32 = 1;
+
+/// Replay-buffer contents in slot order, matching the configured variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayState {
+    /// Prioritized ring buffer (the paper's default).
+    Prioritized {
+        /// Buffer capacity.
+        capacity: usize,
+        /// Ring write cursor.
+        write: usize,
+        /// Stored memories in slot order.
+        items: Vec<MemoryUnit>,
+        /// Slot priorities (`|δ| + ε`), parallel to `items`.
+        priorities: Vec<f64>,
+    },
+    /// Uniform FIFO buffer (FASTFT⁻ᴿᶜᵀ).
+    Uniform {
+        /// Buffer capacity.
+        capacity: usize,
+        /// Ring write cursor.
+        write: usize,
+        /// Stored memories in slot order.
+        items: Vec<MemoryUnit>,
+    },
+}
+
+/// Everything the engine needs to continue a run from an episode boundary.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Fingerprint of the dataset the run was fitted on (shape, task,
+    /// column names, value bits) — resume rejects a different dataset.
+    pub data_fingerprint: u64,
+    /// First episode the resumed run should execute.
+    pub next_episode: usize,
+    /// Global step counter (novelty-weight decay position).
+    pub global_step: usize,
+    /// Downstream score of the original feature set.
+    pub base_score: f64,
+    /// Best downstream-evaluated score so far.
+    pub best_score: f64,
+    /// Expressions of the best feature set (re-parsed on load).
+    pub best_exprs: Vec<String>,
+    /// Column values of the best feature set, parallel to `best_exprs`.
+    pub best_columns: Vec<Vec<f64>>,
+    /// Per-step trace so far.
+    pub records: Vec<StepRecord>,
+    /// Best-so-far score after each completed episode.
+    pub episode_best: Vec<f64>,
+    /// Telemetry counters and accumulated wall times at the boundary.
+    pub telemetry: Telemetry,
+    /// xoshiro256++ state of the run RNG.
+    pub rng: [u64; 4],
+    /// Cascading-agent weights (framework-matched).
+    pub agents: AgentsState,
+    /// Performance-predictor weights + optimiser state.
+    pub predictor: NetState,
+    /// Novelty-estimator weights (the frozen target is rebuilt from the
+    /// seed).
+    pub novelty: NetState,
+    /// Replay-buffer contents.
+    pub replay: ReplayState,
+    /// Novelty-tracker embeddings in observation order.
+    pub tracker_history: Vec<Vec<f64>>,
+    /// Novelty-tracker canonical keys (sorted for determinism).
+    pub tracker_seen: Vec<String>,
+    /// Downstream memo cache, least recently used first.
+    pub eval_cache: Vec<(String, f64)>,
+    /// Downstream-evaluated (sequence, score) training pairs.
+    pub eval_history: Vec<(Vec<usize>, f64)>,
+    /// Predicted-performance history (α-percentile trigger).
+    pub pred_history: Vec<f64>,
+    /// Raw-novelty history (β-percentile trigger).
+    pub nov_history: Vec<f64>,
+    /// Welford count of raw novelty observations.
+    pub nov_count: usize,
+    /// Welford running mean.
+    pub nov_mean: f64,
+    /// Welford running sum of squared deviations.
+    pub nov_m2: f64,
+    /// Prefix-cache/batching counters accumulated before the boundary
+    /// (fresh caches start from zero after resume and are merged on top).
+    pub stats_baseline: ScoreStats,
+    /// Quarantined candidate keys, least recently used first.
+    pub quarantine: Vec<String>,
+}
+
+/// FNV-1a fingerprint of a dataset's identity: shape, task, class count,
+/// column names and the exact bits of every value and target. The dataset
+/// *name* is deliberately excluded so a renamed copy still resumes.
+pub fn dataset_fingerprint(data: &Dataset) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(data.n_rows() as u64);
+    h.write_u64(data.n_features() as u64);
+    h.write_u64(match data.task {
+        TaskType::Classification => 0,
+        TaskType::Regression => 1,
+        TaskType::Detection => 2,
+    });
+    h.write_u64(data.n_classes as u64);
+    for c in &data.features {
+        h.write_bytes(c.name.as_bytes());
+        for &v in &c.values {
+            h.write_u64(v.to_bits());
+        }
+    }
+    for &t in &data.targets {
+        h.write_u64(t.to_bits());
+    }
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary primitives
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    fn vec_vec_f64(&mut self, v: &[Vec<f64>]) {
+        self.usize(v.len());
+        for x in v {
+            self.vec_f64(x);
+        }
+    }
+
+    fn vec_usize(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type Res<T> = Result<T, String>;
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Res<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated at byte {} (wanted {} more)", self.pos, n))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Res<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Res<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Res<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Res<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("length {v} exceeds platform usize"))
+    }
+
+    /// A length that bounds an upcoming allocation. Each element occupies
+    /// at least one byte in the stream, so any honest length is bounded by
+    /// the remaining input — rejecting larger values stops a corrupt
+    /// header from triggering a huge allocation.
+    fn len(&mut self) -> Res<usize> {
+        let v = self.usize()?;
+        if v > self.buf.len() - self.pos {
+            return Err(format!("length {v} exceeds remaining input"));
+        }
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Res<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Res<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn str(&mut self) -> Res<String> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
+    }
+
+    fn vec_f64(&mut self) -> Res<Vec<f64>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn vec_vec_f64(&mut self) -> Res<Vec<Vec<f64>>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.vec_f64()).collect()
+    }
+
+    fn vec_usize(&mut self) -> Res<Vec<usize>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component encodings
+// ---------------------------------------------------------------------------
+
+fn put_config(w: &mut Writer, cfg: &FastFtConfig) {
+    w.usize(cfg.episodes);
+    w.usize(cfg.steps_per_episode);
+    w.usize(cfg.cold_start_episodes);
+    w.usize(cfg.retrain_every);
+    w.usize(cfg.retrain_epochs);
+    w.f64(cfg.alpha);
+    w.f64(cfg.beta);
+    w.f64(cfg.eps_start);
+    w.f64(cfg.eps_end);
+    w.f64(cfg.decay_m);
+    w.usize(cfg.memory_size);
+    w.f64(cfg.gamma);
+    w.f64(cfg.lr);
+    w.f64(cfg.agent_lr);
+    w.usize(cfg.agent_hidden);
+    w.f64(cfg.max_features_factor);
+    w.usize(cfg.max_features_cap);
+    w.usize(cfg.max_new_per_step);
+    w.usize(cfg.max_seq_len);
+    w.f64(cfg.cluster_threshold);
+    w.usize(cfg.mi_bins);
+    put_evaluator(w, &cfg.evaluator);
+    w.usize(cfg.eval_cache_capacity);
+    w.bool(cfg.batched_scoring);
+    w.usize(cfg.prefix_cache_capacity);
+    w.usize(cfg.minibatch);
+    w.u64(cfg.seed);
+    w.bool(cfg.use_predictor);
+    w.bool(cfg.use_novelty);
+    w.bool(cfg.prioritized_replay);
+    put_encoder(w, cfg.encoder);
+    put_rl(w, cfg.rl);
+    w.usize(cfg.threads);
+    w.usize(cfg.checkpoint_every);
+    match &cfg.checkpoint_path {
+        Some(p) => {
+            w.bool(true);
+            w.str(&p.display().to_string());
+        }
+        None => w.bool(false),
+    }
+    w.f64(cfg.max_wall_secs);
+    w.usize(cfg.max_downstream_evals);
+    w.usize(cfg.eval_retries);
+}
+
+fn get_config(r: &mut Reader) -> Res<FastFtConfig> {
+    Ok(FastFtConfig {
+        episodes: r.usize()?,
+        steps_per_episode: r.usize()?,
+        cold_start_episodes: r.usize()?,
+        retrain_every: r.usize()?,
+        retrain_epochs: r.usize()?,
+        alpha: r.f64()?,
+        beta: r.f64()?,
+        eps_start: r.f64()?,
+        eps_end: r.f64()?,
+        decay_m: r.f64()?,
+        memory_size: r.usize()?,
+        gamma: r.f64()?,
+        lr: r.f64()?,
+        agent_lr: r.f64()?,
+        agent_hidden: r.usize()?,
+        max_features_factor: r.f64()?,
+        max_features_cap: r.usize()?,
+        max_new_per_step: r.usize()?,
+        max_seq_len: r.usize()?,
+        cluster_threshold: r.f64()?,
+        mi_bins: r.usize()?,
+        evaluator: get_evaluator(r)?,
+        eval_cache_capacity: r.usize()?,
+        batched_scoring: r.bool()?,
+        prefix_cache_capacity: r.usize()?,
+        minibatch: r.usize()?,
+        seed: r.u64()?,
+        use_predictor: r.bool()?,
+        use_novelty: r.bool()?,
+        prioritized_replay: r.bool()?,
+        encoder: get_encoder(r)?,
+        rl: get_rl(r)?,
+        threads: r.usize()?,
+        checkpoint_every: r.usize()?,
+        checkpoint_path: if r.bool()? { Some(r.str()?.into()) } else { None },
+        max_wall_secs: r.f64()?,
+        max_downstream_evals: r.usize()?,
+        eval_retries: r.usize()?,
+    })
+}
+
+fn put_evaluator(w: &mut Writer, ev: &Evaluator) {
+    w.u8(match ev.model {
+        ModelKind::RandomForest => 0,
+        ModelKind::GradientBoosting => 1,
+        ModelKind::DecisionTree => 2,
+        ModelKind::Logistic => 3,
+        ModelKind::Ridge => 4,
+        ModelKind::LinearSvm => 5,
+        ModelKind::Knn => 6,
+    });
+    match ev.metric {
+        None => w.u8(255),
+        Some(m) => w.u8(match m {
+            Metric::F1 => 0,
+            Metric::Precision => 1,
+            Metric::Recall => 2,
+            Metric::Accuracy => 3,
+            Metric::OneMinusRae => 4,
+            Metric::OneMinusMae => 5,
+            Metric::OneMinusMse => 6,
+            Metric::Auc => 7,
+        }),
+    }
+    w.usize(ev.folds);
+    w.u64(ev.seed);
+    match ev.split_method {
+        SplitMethod::Exact => {
+            w.u8(0);
+            w.u32(0);
+        }
+        SplitMethod::Histogram { max_bins } => {
+            w.u8(1);
+            w.u32(u32::from(max_bins));
+        }
+    }
+    // `fault_plan` is a test-only hook with process-local state; it is
+    // never persisted. `FastFt::resume_with` can reattach one.
+}
+
+fn get_evaluator(r: &mut Reader) -> Res<Evaluator> {
+    let model = match r.u8()? {
+        0 => ModelKind::RandomForest,
+        1 => ModelKind::GradientBoosting,
+        2 => ModelKind::DecisionTree,
+        3 => ModelKind::Logistic,
+        4 => ModelKind::Ridge,
+        5 => ModelKind::LinearSvm,
+        6 => ModelKind::Knn,
+        t => return Err(format!("unknown model tag {t}")),
+    };
+    let metric = match r.u8()? {
+        255 => None,
+        0 => Some(Metric::F1),
+        1 => Some(Metric::Precision),
+        2 => Some(Metric::Recall),
+        3 => Some(Metric::Accuracy),
+        4 => Some(Metric::OneMinusRae),
+        5 => Some(Metric::OneMinusMae),
+        6 => Some(Metric::OneMinusMse),
+        7 => Some(Metric::Auc),
+        t => return Err(format!("unknown metric tag {t}")),
+    };
+    let folds = r.usize()?;
+    let seed = r.u64()?;
+    let split_method = match (r.u8()?, r.u32()?) {
+        (0, _) => SplitMethod::Exact,
+        (1, bins) => SplitMethod::Histogram {
+            max_bins: u16::try_from(bins).map_err(|_| format!("max_bins {bins} out of range"))?,
+        },
+        (t, _) => return Err(format!("unknown split-method tag {t}")),
+    };
+    Ok(Evaluator { model, metric, folds, seed, split_method, fault_plan: None })
+}
+
+fn put_encoder(w: &mut Writer, e: EncoderKind) {
+    match e {
+        EncoderKind::Lstm { layers } => {
+            w.u8(0);
+            w.usize(layers);
+            w.usize(0);
+        }
+        EncoderKind::Rnn { layers } => {
+            w.u8(1);
+            w.usize(layers);
+            w.usize(0);
+        }
+        EncoderKind::Gru { layers } => {
+            w.u8(2);
+            w.usize(layers);
+            w.usize(0);
+        }
+        EncoderKind::Transformer { heads, blocks } => {
+            w.u8(3);
+            w.usize(heads);
+            w.usize(blocks);
+        }
+    }
+}
+
+fn get_encoder(r: &mut Reader) -> Res<EncoderKind> {
+    let (tag, a, b) = (r.u8()?, r.usize()?, r.usize()?);
+    Ok(match tag {
+        0 => EncoderKind::Lstm { layers: a },
+        1 => EncoderKind::Rnn { layers: a },
+        2 => EncoderKind::Gru { layers: a },
+        3 => EncoderKind::Transformer { heads: a, blocks: b },
+        t => return Err(format!("unknown encoder tag {t}")),
+    })
+}
+
+fn put_rl(w: &mut Writer, rl: crate::agents::RlKind) {
+    use crate::agents::RlKind;
+    match rl {
+        RlKind::ActorCritic => {
+            w.u8(0);
+            w.u8(0);
+        }
+        RlKind::Q(q) => {
+            w.u8(1);
+            w.u8(match q {
+                QKind::Dqn => 0,
+                QKind::DoubleDqn => 1,
+                QKind::DuelingDqn => 2,
+                QKind::DuelingDoubleDqn => 3,
+            });
+        }
+    }
+}
+
+fn get_rl(r: &mut Reader) -> Res<crate::agents::RlKind> {
+    use crate::agents::RlKind;
+    let (tag, q) = (r.u8()?, r.u8()?);
+    Ok(match tag {
+        0 => RlKind::ActorCritic,
+        1 => RlKind::Q(match q {
+            0 => QKind::Dqn,
+            1 => QKind::DoubleDqn,
+            2 => QKind::DuelingDqn,
+            3 => QKind::DuelingDoubleDqn,
+            t => return Err(format!("unknown q-kind tag {t}")),
+        }),
+        t => return Err(format!("unknown rl tag {t}")),
+    })
+}
+
+fn put_net(w: &mut Writer, n: &NetState) {
+    w.vec_vec_f64(&n.params);
+    w.u64(n.opt_t);
+    w.vec_vec_f64(&n.opt_m);
+    w.vec_vec_f64(&n.opt_v);
+}
+
+fn get_net(r: &mut Reader) -> Res<NetState> {
+    Ok(NetState {
+        params: r.vec_vec_f64()?,
+        opt_t: r.u64()?,
+        opt_m: r.vec_vec_f64()?,
+        opt_v: r.vec_vec_f64()?,
+    })
+}
+
+fn put_qagent(w: &mut Writer, q: &QAgentState) {
+    put_net(w, &q.online);
+    w.vec_vec_f64(&q.target);
+    w.u64(q.updates);
+}
+
+fn get_qagent(r: &mut Reader) -> Res<QAgentState> {
+    Ok(QAgentState { online: get_net(r)?, target: r.vec_vec_f64()?, updates: r.u64()? })
+}
+
+fn put_agents(w: &mut Writer, a: &AgentsState) {
+    match a {
+        AgentsState::Ac { head, op, tail, critic } => {
+            w.u8(0);
+            put_net(w, head);
+            put_net(w, op);
+            put_net(w, tail);
+            put_net(w, critic);
+        }
+        AgentsState::Q { head, op, tail, eps_step } => {
+            w.u8(1);
+            put_qagent(w, head);
+            put_qagent(w, op);
+            put_qagent(w, tail);
+            w.u64(*eps_step);
+        }
+    }
+}
+
+fn get_agents(r: &mut Reader) -> Res<AgentsState> {
+    Ok(match r.u8()? {
+        0 => AgentsState::Ac {
+            head: get_net(r)?,
+            op: get_net(r)?,
+            tail: get_net(r)?,
+            critic: get_net(r)?,
+        },
+        1 => AgentsState::Q {
+            head: get_qagent(r)?,
+            op: get_qagent(r)?,
+            tail: get_qagent(r)?,
+            eps_step: r.u64()?,
+        },
+        t => return Err(format!("unknown agents tag {t}")),
+    })
+}
+
+fn put_decision(w: &mut Writer, d: &Decision) {
+    w.vec_vec_f64(&d.candidates);
+    w.usize(d.action);
+}
+
+fn get_decision(r: &mut Reader) -> Res<Decision> {
+    Ok(Decision { candidates: r.vec_vec_f64()?, action: r.usize()? })
+}
+
+fn put_memory_unit(w: &mut Writer, m: &MemoryUnit) {
+    w.vec_f64(&m.state);
+    w.vec_f64(&m.next_state);
+    w.f64(m.reward);
+    put_decision(w, &m.head);
+    put_decision(w, &m.op);
+    match &m.tail {
+        Some(t) => {
+            w.bool(true);
+            put_decision(w, t);
+        }
+        None => w.bool(false),
+    }
+    w.vec_vec_f64(&m.next_head_candidates);
+    w.vec_usize(&m.seq);
+    w.f64(m.perf);
+}
+
+fn get_memory_unit(r: &mut Reader) -> Res<MemoryUnit> {
+    Ok(MemoryUnit {
+        state: r.vec_f64()?,
+        next_state: r.vec_f64()?,
+        reward: r.f64()?,
+        head: get_decision(r)?,
+        op: get_decision(r)?,
+        tail: if r.bool()? { Some(get_decision(r)?) } else { None },
+        next_head_candidates: r.vec_vec_f64()?,
+        seq: r.vec_usize()?,
+        perf: r.f64()?,
+    })
+}
+
+fn put_replay(w: &mut Writer, rep: &ReplayState) {
+    match rep {
+        ReplayState::Prioritized { capacity, write, items, priorities } => {
+            w.u8(0);
+            w.usize(*capacity);
+            w.usize(*write);
+            w.usize(items.len());
+            for m in items {
+                put_memory_unit(w, m);
+            }
+            w.vec_f64(priorities);
+        }
+        ReplayState::Uniform { capacity, write, items } => {
+            w.u8(1);
+            w.usize(*capacity);
+            w.usize(*write);
+            w.usize(items.len());
+            for m in items {
+                put_memory_unit(w, m);
+            }
+        }
+    }
+}
+
+fn get_replay(r: &mut Reader) -> Res<ReplayState> {
+    let tag = r.u8()?;
+    let capacity = r.usize()?;
+    let write = r.usize()?;
+    let n = r.len()?;
+    let items: Vec<MemoryUnit> = (0..n).map(|_| get_memory_unit(r)).collect::<Res<_>>()?;
+    let rep = match tag {
+        0 => ReplayState::Prioritized { capacity, write, items, priorities: r.vec_f64()? },
+        1 => ReplayState::Uniform { capacity, write, items },
+        t => return Err(format!("unknown replay tag {t}")),
+    };
+    // Catch internal inconsistencies here so `from_parts` never panics on
+    // a corrupt file.
+    let (cap, wr, len, prios) = match &rep {
+        ReplayState::Prioritized { capacity, write, items, priorities } => {
+            (*capacity, *write, items.len(), Some(priorities.len()))
+        }
+        ReplayState::Uniform { capacity, write, items } => (*capacity, *write, items.len(), None),
+    };
+    if cap == 0 || len > cap || wr >= cap || prios.is_some_and(|p| p != len) {
+        return Err(format!("inconsistent replay buffer (capacity {cap}, write {wr}, len {len})"));
+    }
+    Ok(rep)
+}
+
+fn put_step_record(w: &mut Writer, rec: &StepRecord) {
+    w.usize(rec.episode);
+    w.usize(rec.step);
+    w.f64(rec.reward);
+    w.f64(rec.score);
+    w.bool(rec.predicted);
+    w.f64(rec.novelty);
+    w.f64(rec.novelty_distance);
+    w.bool(rec.new_combination);
+    w.usize(rec.n_features);
+    w.usize(rec.new_exprs.len());
+    for e in &rec.new_exprs {
+        w.str(e);
+    }
+}
+
+fn get_step_record(r: &mut Reader) -> Res<StepRecord> {
+    Ok(StepRecord {
+        episode: r.usize()?,
+        step: r.usize()?,
+        reward: r.f64()?,
+        score: r.f64()?,
+        predicted: r.bool()?,
+        novelty: r.f64()?,
+        novelty_distance: r.f64()?,
+        new_combination: r.bool()?,
+        n_features: r.usize()?,
+        new_exprs: {
+            let n = r.len()?;
+            (0..n).map(|_| r.str()).collect::<Res<_>>()?
+        },
+    })
+}
+
+fn put_telemetry(w: &mut Writer, t: &Telemetry) {
+    w.f64(t.optimization_secs);
+    w.f64(t.estimation_secs);
+    w.f64(t.evaluation_secs);
+    w.f64(t.total_secs);
+    w.usize(t.downstream_evals);
+    w.usize(t.predictor_calls);
+    w.usize(t.cache_hits);
+    w.usize(t.cache_evictions);
+    w.f64(t.predictor_secs);
+    w.f64(t.novelty_secs);
+    w.u64(t.prefix_hits);
+    w.u64(t.prefix_misses);
+    w.u64(t.prefix_evictions);
+    w.u64(t.score_batches);
+    for &b in &t.batch_size_hist {
+        w.u64(b);
+    }
+    w.usize(t.eval_faults);
+    w.usize(t.quarantined);
+    w.usize(t.weight_rollbacks);
+}
+
+fn get_telemetry(r: &mut Reader) -> Res<Telemetry> {
+    let mut t = Telemetry {
+        optimization_secs: r.f64()?,
+        estimation_secs: r.f64()?,
+        evaluation_secs: r.f64()?,
+        total_secs: r.f64()?,
+        downstream_evals: r.usize()?,
+        predictor_calls: r.usize()?,
+        cache_hits: r.usize()?,
+        cache_evictions: r.usize()?,
+        predictor_secs: r.f64()?,
+        novelty_secs: r.f64()?,
+        prefix_hits: r.u64()?,
+        prefix_misses: r.u64()?,
+        prefix_evictions: r.u64()?,
+        score_batches: r.u64()?,
+        ..Telemetry::default()
+    };
+    for b in &mut t.batch_size_hist {
+        *b = r.u64()?;
+    }
+    t.eval_faults = r.usize()?;
+    t.quarantined = r.usize()?;
+    t.weight_rollbacks = r.usize()?;
+    Ok(t)
+}
+
+fn put_stats(w: &mut Writer, s: &ScoreStats) {
+    w.u64(s.prefix_hits);
+    w.u64(s.prefix_misses);
+    w.u64(s.evictions);
+    w.u64(s.batches);
+    for &b in &s.batch_hist {
+        w.u64(b);
+    }
+}
+
+fn get_stats(r: &mut Reader) -> Res<ScoreStats> {
+    let mut s = ScoreStats {
+        prefix_hits: r.u64()?,
+        prefix_misses: r.u64()?,
+        evictions: r.u64()?,
+        batches: r.u64()?,
+        batch_hist: [0; BATCH_HIST_BUCKETS],
+    };
+    for b in &mut s.batch_hist {
+        *b = r.u64()?;
+    }
+    Ok(s)
+}
+
+fn put_snapshot(w: &mut Writer, s: &Snapshot) {
+    w.u64(s.data_fingerprint);
+    w.usize(s.next_episode);
+    w.usize(s.global_step);
+    w.f64(s.base_score);
+    w.f64(s.best_score);
+    w.usize(s.best_exprs.len());
+    for e in &s.best_exprs {
+        w.str(e);
+    }
+    w.vec_vec_f64(&s.best_columns);
+    w.usize(s.records.len());
+    for rec in &s.records {
+        put_step_record(w, rec);
+    }
+    w.vec_f64(&s.episode_best);
+    put_telemetry(w, &s.telemetry);
+    for &x in &s.rng {
+        w.u64(x);
+    }
+    put_agents(w, &s.agents);
+    put_net(w, &s.predictor);
+    put_net(w, &s.novelty);
+    put_replay(w, &s.replay);
+    w.vec_vec_f64(&s.tracker_history);
+    w.usize(s.tracker_seen.len());
+    for k in &s.tracker_seen {
+        w.str(k);
+    }
+    w.usize(s.eval_cache.len());
+    for (k, v) in &s.eval_cache {
+        w.str(k);
+        w.f64(*v);
+    }
+    w.usize(s.eval_history.len());
+    for (seq, v) in &s.eval_history {
+        w.vec_usize(seq);
+        w.f64(*v);
+    }
+    w.vec_f64(&s.pred_history);
+    w.vec_f64(&s.nov_history);
+    w.usize(s.nov_count);
+    w.f64(s.nov_mean);
+    w.f64(s.nov_m2);
+    put_stats(w, &s.stats_baseline);
+    w.usize(s.quarantine.len());
+    for k in &s.quarantine {
+        w.str(k);
+    }
+}
+
+fn get_snapshot(r: &mut Reader) -> Res<Snapshot> {
+    Ok(Snapshot {
+        data_fingerprint: r.u64()?,
+        next_episode: r.usize()?,
+        global_step: r.usize()?,
+        base_score: r.f64()?,
+        best_score: r.f64()?,
+        best_exprs: {
+            let n = r.len()?;
+            (0..n).map(|_| r.str()).collect::<Res<_>>()?
+        },
+        best_columns: r.vec_vec_f64()?,
+        records: {
+            let n = r.len()?;
+            (0..n).map(|_| get_step_record(r)).collect::<Res<_>>()?
+        },
+        episode_best: r.vec_f64()?,
+        telemetry: get_telemetry(r)?,
+        rng: {
+            let mut s = [0u64; 4];
+            for x in &mut s {
+                *x = r.u64()?;
+            }
+            s
+        },
+        agents: get_agents(r)?,
+        predictor: get_net(r)?,
+        novelty: get_net(r)?,
+        replay: get_replay(r)?,
+        tracker_history: r.vec_vec_f64()?,
+        tracker_seen: {
+            let n = r.len()?;
+            (0..n).map(|_| r.str()).collect::<Res<_>>()?
+        },
+        eval_cache: {
+            let n = r.len()?;
+            (0..n).map(|_| Ok((r.str()?, r.f64()?))).collect::<Res<_>>()?
+        },
+        eval_history: {
+            let n = r.len()?;
+            (0..n).map(|_| Ok((r.vec_usize()?, r.f64()?))).collect::<Res<_>>()?
+        },
+        pred_history: r.vec_f64()?,
+        nov_history: r.vec_f64()?,
+        nov_count: r.usize()?,
+        nov_mean: r.f64()?,
+        nov_m2: r.f64()?,
+        stats_baseline: get_stats(r)?,
+        quarantine: {
+            let n = r.len()?;
+            (0..n).map(|_| r.str()).collect::<Res<_>>()?
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public file API
+// ---------------------------------------------------------------------------
+
+/// Serialise a configuration + snapshot to the versioned binary format.
+pub fn encode(cfg: &FastFtConfig, snap: &Snapshot) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.buf.extend_from_slice(&MAGIC);
+    w.u32(VERSION);
+    put_config(&mut w, cfg);
+    put_snapshot(&mut w, snap);
+    w.buf
+}
+
+/// Parse bytes produced by [`encode`], verifying magic and version.
+pub fn decode(bytes: &[u8]) -> FastFtResult<(FastFtConfig, Snapshot)> {
+    let mut r = Reader::new(bytes);
+    let run = |r: &mut Reader| -> Res<(FastFtConfig, Snapshot)> {
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err("not a FASTFT checkpoint (bad magic)".into());
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version} (expected {VERSION})"));
+        }
+        let cfg = get_config(r)?;
+        let snap = get_snapshot(r)?;
+        if r.pos != r.buf.len() {
+            return Err(format!("{} trailing bytes after snapshot", r.buf.len() - r.pos));
+        }
+        Ok((cfg, snap))
+    };
+    run(&mut r).map_err(|e| FastFtError::Parse(format!("checkpoint: {e}")))
+}
+
+/// Write a checkpoint atomically: encode, write to a `.tmp` sibling, then
+/// rename over `path`. A crash mid-write leaves any previous checkpoint
+/// intact.
+pub fn write(path: &Path, cfg: &FastFtConfig, snap: &Snapshot) -> FastFtResult<()> {
+    let bytes = encode(cfg, snap);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes).map_err(|e| FastFtError::io(&tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| FastFtError::io(path, &e))
+}
+
+/// Read and parse a checkpoint file.
+pub fn read(path: &Path) -> FastFtResult<(FastFtConfig, Snapshot)> {
+    let bytes = std::fs::read(path).map_err(|e| FastFtError::io(path, &e))?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{CLUSTER_REP_DIM, HEAD_DIM, OP_DIM};
+
+    fn sample_net() -> NetState {
+        NetState {
+            params: vec![vec![0.5, -0.25], vec![1.0]],
+            opt_t: 3,
+            opt_m: vec![vec![0.1, 0.2], vec![0.3]],
+            opt_v: vec![vec![0.01, 0.02], vec![0.03]],
+        }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mem = MemoryUnit {
+            state: vec![0.0; CLUSTER_REP_DIM],
+            next_state: vec![1.0; CLUSTER_REP_DIM],
+            reward: 0.25,
+            head: Decision { candidates: vec![vec![0.1; HEAD_DIM]], action: 0 },
+            op: Decision { candidates: vec![vec![0.2; OP_DIM]; 2], action: 1 },
+            tail: None,
+            next_head_candidates: vec![],
+            seq: vec![1, 2, 3],
+            perf: 0.75,
+        };
+        Snapshot {
+            data_fingerprint: 0xDEAD_BEEF,
+            next_episode: 2,
+            global_step: 8,
+            base_score: 0.6,
+            best_score: 0.7,
+            best_exprs: vec!["f0".into(), "(f0*f1)".into()],
+            best_columns: vec![vec![1.0, 2.0], vec![2.0, 6.0]],
+            records: vec![StepRecord {
+                episode: 0,
+                step: 0,
+                reward: 0.1,
+                score: 0.65,
+                predicted: false,
+                novelty: 0.3,
+                novelty_distance: 1.0,
+                new_combination: true,
+                n_features: 3,
+                new_exprs: vec!["sq(f0)".into()],
+            }],
+            episode_best: vec![0.65, 0.7],
+            telemetry: Telemetry {
+                downstream_evals: 9,
+                cache_hits: 2,
+                eval_faults: 1,
+                quarantined: 1,
+                total_secs: 1.25,
+                ..Telemetry::default()
+            },
+            rng: [1, 2, 3, 4],
+            agents: AgentsState::Ac {
+                head: sample_net(),
+                op: sample_net(),
+                tail: sample_net(),
+                critic: sample_net(),
+            },
+            predictor: sample_net(),
+            novelty: sample_net(),
+            replay: ReplayState::Prioritized {
+                capacity: 16,
+                write: 1,
+                items: vec![mem],
+                priorities: vec![0.251],
+            },
+            tracker_history: vec![vec![0.1, 0.2]],
+            tracker_seen: vec!["a".into(), "b".into()],
+            eval_cache: vec![("k1".into(), 0.6), ("k2".into(), 0.7)],
+            eval_history: vec![(vec![1, 2], 0.6)],
+            pred_history: vec![0.5, 0.6],
+            nov_history: vec![0.2],
+            nov_count: 3,
+            nov_mean: 0.4,
+            nov_m2: 0.02,
+            stats_baseline: ScoreStats { batches: 4, ..ScoreStats::default() },
+            quarantine: vec!["bad-key".into()],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let cfg = FastFtConfig::quick();
+        let snap = sample_snapshot();
+        let bytes = encode(&cfg, &snap);
+        let (cfg2, snap2) = decode(&bytes).unwrap();
+        assert_eq!(cfg2.episodes, cfg.episodes);
+        assert_eq!(cfg2.seed, cfg.seed);
+        assert_eq!(cfg2.evaluator.folds, cfg.evaluator.folds);
+        assert_eq!(snap2.data_fingerprint, snap.data_fingerprint);
+        assert_eq!(snap2.best_exprs, snap.best_exprs);
+        assert_eq!(snap2.best_columns, snap.best_columns);
+        assert_eq!(snap2.rng, snap.rng);
+        assert_eq!(snap2.agents, snap.agents);
+        assert_eq!(snap2.predictor, snap.predictor);
+        assert_eq!(snap2.replay, snap.replay);
+        assert_eq!(snap2.eval_cache, snap.eval_cache);
+        assert_eq!(snap2.quarantine, snap.quarantine);
+        assert_eq!(snap2.telemetry.downstream_evals, 9);
+        assert_eq!(snap2.telemetry.eval_faults, 1);
+        assert_eq!(snap2.stats_baseline, snap.stats_baseline);
+        assert_eq!(snap2.nov_m2.to_bits(), snap.nov_m2.to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_version() {
+        let cfg = FastFtConfig::quick();
+        let snap = sample_snapshot();
+        let mut bytes = encode(&cfg, &snap);
+        assert!(matches!(decode(b"not a checkpoint"), Err(FastFtError::Parse(_))));
+        bytes[8] = 99; // clobber the version field
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_truncation_anywhere() {
+        let bytes = encode(&FastFtConfig::quick(), &sample_snapshot());
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in [10, 50, 200, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode(&long).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_name() {
+        use fastft_tabular::dataset::Column;
+        let d1 = Dataset::new(
+            "a",
+            vec![Column::new("x", vec![1.0, 2.0])],
+            vec![0.0, 1.0],
+            TaskType::Classification,
+            2,
+        )
+        .unwrap();
+        let mut renamed = d1.clone();
+        renamed.name = "b".into();
+        assert_eq!(dataset_fingerprint(&d1), dataset_fingerprint(&renamed));
+        let mut changed = d1.clone();
+        changed.features[0].values[1] = 2.0000001;
+        assert_ne!(dataset_fingerprint(&d1), dataset_fingerprint(&changed));
+        let mut recol = d1.clone();
+        recol.features[0].name = "y".into();
+        assert_ne!(dataset_fingerprint(&d1), dataset_fingerprint(&recol));
+    }
+
+    #[test]
+    fn q_and_uniform_variants_round_trip() {
+        let mut cfg = FastFtConfig::quick();
+        cfg.rl = crate::agents::RlKind::Q(QKind::DuelingDoubleDqn);
+        cfg.prioritized_replay = false;
+        cfg.encoder = EncoderKind::Transformer { heads: 2, blocks: 1 };
+        cfg.evaluator.metric = Some(Metric::Auc);
+        cfg.evaluator.split_method = SplitMethod::Exact;
+        cfg.checkpoint_path = Some("x.ckpt".into());
+        let mut snap = sample_snapshot();
+        snap.agents = AgentsState::Q {
+            head: QAgentState { online: sample_net(), target: vec![vec![1.0]], updates: 5 },
+            op: QAgentState::default(),
+            tail: QAgentState::default(),
+            eps_step: 17,
+        };
+        snap.replay = ReplayState::Uniform { capacity: 8, write: 0, items: vec![] };
+        let (cfg2, snap2) = decode(&encode(&cfg, &snap)).unwrap();
+        assert_eq!(cfg2.rl, cfg.rl);
+        assert_eq!(cfg2.encoder, cfg.encoder);
+        assert_eq!(cfg2.evaluator.metric, Some(Metric::Auc));
+        assert_eq!(cfg2.checkpoint_path.as_deref(), Some(std::path::Path::new("x.ckpt")));
+        assert_eq!(snap2.agents, snap.agents);
+        assert_eq!(snap2.replay, snap.replay);
+    }
+
+    #[test]
+    fn write_read_round_trips_on_disk() {
+        let path =
+            std::env::temp_dir().join(format!("fastft-ckpt-test-{}.bin", std::process::id()));
+        let cfg = FastFtConfig::quick();
+        let snap = sample_snapshot();
+        write(&path, &cfg, &snap).unwrap();
+        let (_, snap2) = read(&path).unwrap();
+        assert_eq!(snap2.best_exprs, snap.best_exprs);
+        // The temporary sibling is gone after the rename.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -15,6 +15,7 @@
 //!    components fine-tune every `retrain_every` episodes.
 
 use crate::agents::{CascadingAgents, Decision, MemoryUnit, Role};
+use crate::checkpoint;
 use crate::cluster::{cluster_features, MiCache};
 use crate::config::FastFtConfig;
 use crate::expr::Expr;
@@ -22,8 +23,9 @@ use crate::lru::LruCache;
 use crate::novelty::NoveltyEstimator;
 use crate::novelty_metric::NoveltyTracker;
 use crate::ops::Op;
+use crate::parse::parse_expr;
 use crate::predictor::{PerformancePredictor, PredictorConfig};
-use crate::scoring::BATCH_HIST_BUCKETS;
+use crate::scoring::{ScoreStats, BATCH_HIST_BUCKETS};
 use crate::sequence::{canonical_key, encode_feature_set, TokenVocab};
 use crate::state;
 use crate::transform::FeatureSet;
@@ -32,12 +34,14 @@ use fastft_rl::{PrioritizedReplay, UniformReplay};
 use fastft_runtime::Runtime;
 use fastft_tabular::rngx;
 use fastft_tabular::rngx::StdRng;
-use fastft_tabular::Dataset;
+use fastft_tabular::{Column, Dataset};
 use fastft_tabular::{FastFtError, FastFtResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::time::Instant;
 
 /// Per-step trace of a run (Figs. 14–15, debugging, case studies).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepRecord {
     /// Episode index.
     pub episode: usize,
@@ -100,6 +104,37 @@ pub struct Telemetry {
     /// Histogram of scoring batch sizes (bucket `i` = size `i + 1`, last
     /// bucket = `≥ 8`).
     pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Downstream evaluations that faulted — panicked, returned a typed
+    /// evaluation error, or produced a non-finite score — counting retries.
+    pub eval_faults: usize,
+    /// Candidates quarantined after exhausting
+    /// [`FastFtConfig::eval_retries`] attempts.
+    pub quarantined: usize,
+    /// Component-training rounds rolled back because they panicked or left
+    /// non-finite weights (one count per rolled-back component).
+    pub weight_rollbacks: usize,
+}
+
+/// Why a run returned (all variants return the best-so-far result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// All configured episodes ran.
+    Completed,
+    /// [`FastFtConfig::max_wall_secs`] was exhausted at a step boundary.
+    WallClock,
+    /// [`FastFtConfig::max_downstream_evals`] was exhausted at a step
+    /// boundary.
+    EvalBudget,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::Completed => "completed",
+            StopReason::WallClock => "wall-clock budget",
+            StopReason::EvalBudget => "evaluation budget",
+        })
+    }
 }
 
 /// Result of a FASTFT run.
@@ -119,6 +154,8 @@ pub struct RunResult {
     pub episode_best: Vec<f64>,
     /// Timing decomposition (Table II).
     pub telemetry: Telemetry,
+    /// Why the run returned (completed, or which budget stopped it).
+    pub stop_reason: StopReason,
 }
 
 enum Memory {
@@ -176,18 +213,125 @@ impl FastFt {
     ///
     /// Returns [`FastFtError::InvalidConfig`] if the configuration fails
     /// [`FastFtConfig::validate`], [`FastFtError::InvalidData`] if `data`
-    /// has no feature columns, and [`FastFtError::Evaluation`] if the
-    /// downstream evaluator cannot score a fold.
+    /// is degenerate (no feature columns, fewer than two rows, or
+    /// non-finite values), and [`FastFtError::Evaluation`] if the
+    /// downstream evaluator cannot score the *original* feature set.
+    /// Candidate evaluations that fail mid-run are fault-isolated and
+    /// quarantined instead of aborting the run.
     pub fn fit(&self, data: &Dataset) -> FastFtResult<RunResult> {
         self.cfg.validate()?;
-        if data.n_features() == 0 {
-            return Err(FastFtError::InvalidData(format!(
-                "dataset '{}' has no feature columns",
-                data.name
-            )));
-        }
+        validate_data(data)?;
         Run::new(&self.cfg, data).execute()
     }
+
+    /// Continue a run from a checkpoint written via
+    /// [`FastFtConfig::checkpoint_every`]. `data` must be the dataset the
+    /// checkpointed run was fitted on (verified by fingerprint).
+    ///
+    /// The resumed run is **bitwise identical** to the uninterrupted one:
+    /// the same decisions, scores, records and deterministic telemetry
+    /// counters come out, because the checkpoint captures the RNG stream,
+    /// all network weights with optimiser state, the replay buffer and the
+    /// memo cache. Only wall times and encoder prefix-cache hit counters
+    /// differ (those caches restart cold).
+    ///
+    /// # Errors
+    ///
+    /// [`FastFtError::Io`] if the file cannot be read,
+    /// [`FastFtError::Parse`] if it is not a valid checkpoint, and
+    /// [`FastFtError::InvalidData`] if `data` does not match the
+    /// checkpoint's dataset fingerprint.
+    pub fn resume(path: impl AsRef<Path>, data: &Dataset) -> FastFtResult<RunResult> {
+        Self::resume_with(path, data, |_| {})
+    }
+
+    /// [`resume`](FastFt::resume) with a configuration override hook,
+    /// applied before the run restarts — the supported use is adjusting
+    /// run budgets, checkpoint cadence or thread count (e.g. lifting
+    /// `max_downstream_evals` to let a budget-stopped run finish).
+    /// Changing learning hyperparameters mid-run voids the bitwise-parity
+    /// guarantee.
+    pub fn resume_with(
+        path: impl AsRef<Path>,
+        data: &Dataset,
+        override_cfg: impl FnOnce(&mut FastFtConfig),
+    ) -> FastFtResult<RunResult> {
+        let (mut cfg, snap) = checkpoint::read(path.as_ref())?;
+        override_cfg(&mut cfg);
+        cfg.validate()?;
+        validate_data(data)?;
+        if checkpoint::dataset_fingerprint(data) != snap.data_fingerprint {
+            return Err(FastFtError::InvalidData(format!(
+                "checkpoint '{}' was written for a different dataset (fingerprint mismatch)",
+                path.as_ref().display()
+            )));
+        }
+        let best_fs = restore_feature_set(data, &snap)?;
+        let mut run = Run::new(&cfg, data);
+        run.restore(&snap)?;
+        run.execute_from(
+            Instant::now(),
+            snap.next_episode,
+            snap.base_score,
+            snap.best_score,
+            best_fs,
+            snap.records,
+            snap.episode_best,
+        )
+    }
+}
+
+/// Degenerate-input guards shared by [`FastFt::fit`] and
+/// [`FastFt::resume`]: inputs that would otherwise surface as panics or
+/// NaN scores deep inside a run are rejected up front with a typed error.
+fn validate_data(data: &Dataset) -> FastFtResult<()> {
+    if data.n_features() == 0 {
+        return Err(FastFtError::InvalidData(format!(
+            "dataset '{}' has no feature columns",
+            data.name
+        )));
+    }
+    if data.n_rows() < 2 {
+        return Err(FastFtError::InvalidData(format!(
+            "dataset '{}' has {} row(s); cross-validated evaluation needs at least 2",
+            data.name,
+            data.n_rows()
+        )));
+    }
+    if let Some(c) = data.features.iter().find(|c| c.values.iter().any(|v| !v.is_finite())) {
+        return Err(FastFtError::InvalidData(format!(
+            "feature column '{}' contains non-finite values; call Dataset::sanitize() first",
+            c.name
+        )));
+    }
+    if data.targets.iter().any(|t| !t.is_finite()) {
+        return Err(FastFtError::InvalidData(format!(
+            "dataset '{}' has non-finite target values",
+            data.name
+        )));
+    }
+    Ok(())
+}
+
+/// Rebuild the checkpointed best-so-far feature set: expressions are
+/// re-parsed and paired with their stored column values over `data`.
+fn restore_feature_set(data: &Dataset, snap: &checkpoint::Snapshot) -> FastFtResult<FeatureSet> {
+    if snap.best_exprs.len() != snap.best_columns.len() {
+        return Err(FastFtError::Parse(
+            "checkpoint: best feature set has mismatched expression/column counts".into(),
+        ));
+    }
+    let exprs: Vec<Expr> =
+        snap.best_exprs.iter().map(|e| parse_expr(e)).collect::<FastFtResult<_>>()?;
+    let columns: Vec<Column> = exprs
+        .iter()
+        .zip(&snap.best_columns)
+        .map(|(e, values)| Column::new(e.to_string(), values.clone()))
+        .collect();
+    let mut fs = FeatureSet::from_original(data);
+    fs.data = data.with_features(columns)?;
+    fs.exprs = exprs;
+    Ok(fs)
 }
 
 /// Percentile of a sample (linear interpolation, q in `[0,1]`).
@@ -197,6 +341,10 @@ fn percentile(values: &[f64], q: f64) -> f64 {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     fastft_tabular::stats::percentile_sorted(&sorted, q)
 }
+
+/// Cap on the quarantine set: plenty for any realistic fault pattern,
+/// while bounding memory if a dataset makes *every* candidate fault.
+const QUARANTINE_CAPACITY: usize = 256;
 
 struct Run<'a> {
     cfg: &'a FastFtConfig,
@@ -226,6 +374,14 @@ struct Run<'a> {
     nov_mean: f64,
     nov_m2: f64,
     global_step: usize,
+    // Prefix-cache/batching counters accumulated before the last resume:
+    // the caches themselves restart cold, so end-of-run telemetry is this
+    // baseline merged with the fresh caches' counters.
+    stats_baseline: ScoreStats,
+    // Canonical keys of candidates whose downstream evaluation kept
+    // faulting. LRU-bounded so pathological data cannot grow it without
+    // limit; quarantined candidates are scored by the predictor instead.
+    quarantine: LruCache<String, ()>,
 }
 
 impl<'a> Run<'a> {
@@ -266,6 +422,8 @@ impl<'a> Run<'a> {
             nov_mean: 0.0,
             nov_m2: 0.0,
             global_step: 0,
+            stats_baseline: ScoreStats::default(),
+            quarantine: LruCache::new(QUARANTINE_CAPACITY),
         }
     }
 
@@ -290,6 +448,82 @@ impl<'a> Run<'a> {
             }
         }
         Ok(score)
+    }
+
+    /// Fault-isolated downstream evaluation of a candidate feature set.
+    ///
+    /// Panics inside the evaluator, typed evaluation errors and non-finite
+    /// scores all count as faults (`eval_faults`): the evaluation retries
+    /// up to [`FastFtConfig::eval_retries`] more times and then the
+    /// candidate is quarantined (`None`), leaving the step loop to fall
+    /// back on the predictor. Quarantine shares the memo cache's canonical
+    /// key, so a quarantined feature combination is never re-attempted
+    /// while it remains in the bounded set. The *base* evaluation does not
+    /// go through here — a dataset whose original features cannot be
+    /// scored is a configuration problem and propagates as a typed error.
+    fn evaluate_candidate(&mut self, data: &Dataset, key: &str) -> Option<f64> {
+        if self.quarantine.get(key).is_some() {
+            return None;
+        }
+        if let Some(&score) = self.eval_cache.get(key) {
+            self.telemetry.cache_hits += 1;
+            return Some(score);
+        }
+        for _attempt in 0..=self.cfg.eval_retries {
+            let t0 = Instant::now();
+            let evaluator = &self.cfg.evaluator;
+            let runtime = &self.runtime;
+            let outcome = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate_with(runtime, data)));
+            self.telemetry.evaluation_secs += t0.elapsed().as_secs_f64();
+            self.telemetry.downstream_evals += 1;
+            match outcome {
+                Ok(Ok(score)) if score.is_finite() => {
+                    if self.eval_cache.insert(key.to_owned(), score) {
+                        self.telemetry.cache_evictions += 1;
+                    }
+                    return Some(score);
+                }
+                // Panic, typed evaluation error or non-finite score: count
+                // the fault and retry.
+                _ => self.telemetry.eval_faults += 1,
+            }
+        }
+        self.telemetry.quarantined += 1;
+        self.quarantine.insert(key.to_owned(), ());
+        None
+    }
+
+    /// Predictor-only score for a quarantined candidate, so the episode
+    /// keeps moving with a finite reward.
+    fn predict_fallback(&mut self, seq: &[usize]) -> f64 {
+        let t0 = Instant::now();
+        let pred = if self.cfg.batched_scoring {
+            self.predictor.predict_cached(seq)
+        } else {
+            self.predictor.predict(seq)
+        };
+        let elapsed = t0.elapsed().as_secs_f64();
+        self.telemetry.predictor_secs += elapsed;
+        self.telemetry.estimation_secs += elapsed;
+        self.telemetry.predictor_calls += 1;
+        pred
+    }
+
+    /// Which run budget, if any, is exhausted at this step boundary. Pure
+    /// bookkeeping — no RNG is consumed — so a budget-stopped run stays on
+    /// the same decision stream as an uninterrupted one up to the stop.
+    fn budget_reason(&self, t_start: Instant, prior_secs: f64) -> Option<StopReason> {
+        if self.cfg.max_downstream_evals > 0
+            && self.telemetry.downstream_evals >= self.cfg.max_downstream_evals
+        {
+            return Some(StopReason::EvalBudget);
+        }
+        if self.cfg.max_wall_secs > 0.0
+            && prior_secs + t_start.elapsed().as_secs_f64() >= self.cfg.max_wall_secs
+        {
+            return Some(StopReason::WallClock);
+        }
+        None
     }
 
     /// Should this (predicted performance, novelty) pair trigger a real
@@ -332,19 +566,35 @@ impl<'a> Run<'a> {
 
     fn execute(mut self) -> FastFtResult<RunResult> {
         let t_start = Instant::now();
-        let novelty_weight =
-            ExpDecay { start: self.cfg.eps_start, end: self.cfg.eps_end, m: self.cfg.decay_m };
         let base_fs = FeatureSet::from_original(self.original);
         let base_key = canonical_key(&base_fs.exprs);
         let base_score = self.evaluate_downstream(self.original, Some(&base_key))?;
+        self.execute_from(t_start, 0, base_score, base_score, base_fs, Vec::new(), Vec::new())
+    }
+
+    /// The episode loop, entered at `start_episode` — 0 for a fresh run,
+    /// the checkpointed boundary for a resumed one. All best-so-far state
+    /// arrives as arguments so both paths share one code path (and one
+    /// decision stream).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_from(
+        mut self,
+        t_start: Instant,
+        start_episode: usize,
+        base_score: f64,
+        mut best_score: f64,
+        mut best_fs: FeatureSet,
+        mut records: Vec<StepRecord>,
+        mut episode_best: Vec<f64>,
+    ) -> FastFtResult<RunResult> {
+        // Wall time accumulated before a resume; 0 for a fresh run.
+        let prior_secs = self.telemetry.total_secs;
+        let novelty_weight =
+            ExpDecay { start: self.cfg.eps_start, end: self.cfg.eps_end, m: self.cfg.decay_m };
         let max_features = self.cfg.max_features(self.original.n_features());
+        let mut stop = StopReason::Completed;
 
-        let mut best_score = base_score;
-        let mut best_fs = FeatureSet::from_original(self.original);
-        let mut records = Vec::new();
-        let mut episode_best = Vec::with_capacity(self.cfg.episodes);
-
-        for episode in 0..self.cfg.episodes {
+        'episodes: for episode in start_episode..self.cfg.episodes {
             let cold = episode < self.cfg.cold_start_episodes || !self.cfg.use_predictor;
             let mut fs = FeatureSet::from_original(self.original);
             let mut prev_v = base_score;
@@ -355,6 +605,10 @@ impl<'a> Run<'a> {
             let mut pending: Option<MemoryUnit> = None;
 
             for step in 0..self.cfg.steps_per_episode {
+                if let Some(reason) = self.budget_reason(t_start, prior_secs) {
+                    stop = reason;
+                    break 'episodes;
+                }
                 self.global_step += 1;
                 // --- agent decisions -----------------------------------
                 let t_opt = Instant::now();
@@ -410,8 +664,16 @@ impl<'a> Run<'a> {
 
                 // --- scoring and reward --------------------------------
                 let (v, reward, predicted, nov) = if cold {
-                    let v = self.evaluate_downstream(&fs.data, Some(&key))?;
-                    self.eval_history.push((seq.clone(), v));
+                    // Fault-isolated real evaluation; a quarantined
+                    // candidate falls back to the predictor (`predicted`
+                    // keeps it out of best tracking and training history).
+                    let (v, predicted) = match self.evaluate_candidate(&fs.data, &key) {
+                        Some(v) => {
+                            self.eval_history.push((seq.clone(), v));
+                            (v, false)
+                        }
+                        None => (self.predict_fallback(&seq), true),
+                    };
                     // Eq. 5 (plus the novelty bonus when the estimator is
                     // active and trained; during true cold start the
                     // estimator is untrained, so only the −PP path adds it).
@@ -432,7 +694,7 @@ impl<'a> Run<'a> {
                         r += novelty_weight.at(self.global_step) * normed;
                         self.nov_history.push(nov);
                     }
-                    (v, r, false, nov)
+                    (v, r, predicted, nov)
                 } else {
                     // Batched scoring runs the same fused kernels in the
                     // same summation order as the per-sequence path, so both
@@ -471,9 +733,15 @@ impl<'a> Run<'a> {
                     let trigger = self.trigger_downstream(pred, nov);
                     self.pred_history.push(pred);
                     if trigger {
-                        let v = self.evaluate_downstream(&fs.data, Some(&key))?;
-                        self.eval_history.push((seq.clone(), v));
-                        (v, r, false, nov)
+                        // Fault-isolated: a quarantined candidate falls
+                        // back to its already-computed prediction.
+                        match self.evaluate_candidate(&fs.data, &key) {
+                            Some(v) => {
+                                self.eval_history.push((seq.clone(), v));
+                                (v, r, false, nov)
+                            }
+                            None => (pred, r, true, nov),
+                        }
                     } else {
                         (pred, r, true, nov)
                     }
@@ -537,15 +805,32 @@ impl<'a> Run<'a> {
             }
 
             episode_best.push(best_score);
+
+            // Crash-safe checkpoint at the episode boundary. Absolute
+            // episode numbering keeps the cadence stable across resumes.
+            if self.cfg.checkpoint_every > 0
+                && (episode + 1).is_multiple_of(self.cfg.checkpoint_every)
+            {
+                let total = prior_secs + t_start.elapsed().as_secs_f64();
+                self.write_checkpoint(
+                    episode + 1,
+                    base_score,
+                    best_score,
+                    &best_fs,
+                    &records,
+                    &episode_best,
+                    total,
+                )?;
+            }
         }
 
-        let s = self.predictor.stats().merge(&self.novelty.stats());
+        let s = self.stats_baseline.merge(&self.predictor.stats().merge(&self.novelty.stats()));
         self.telemetry.prefix_hits = s.prefix_hits;
         self.telemetry.prefix_misses = s.prefix_misses;
         self.telemetry.prefix_evictions = s.evictions;
         self.telemetry.score_batches = s.batches;
         self.telemetry.batch_size_hist = s.batch_hist;
-        self.telemetry.total_secs = t_start.elapsed().as_secs_f64();
+        self.telemetry.total_secs = prior_secs + t_start.elapsed().as_secs_f64();
         Ok(RunResult {
             base_score,
             best_score,
@@ -554,7 +839,147 @@ impl<'a> Run<'a> {
             records,
             episode_best,
             telemetry: self.telemetry,
+            stop_reason: stop,
         })
+    }
+
+    /// Write a checkpoint to `cfg.checkpoint_path` (no-op without a path).
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &mut self,
+        next_episode: usize,
+        base_score: f64,
+        best_score: f64,
+        best_fs: &FeatureSet,
+        records: &[StepRecord],
+        episode_best: &[f64],
+        total_secs: f64,
+    ) -> FastFtResult<()> {
+        let Some(path) = self.cfg.checkpoint_path.clone() else {
+            return Ok(());
+        };
+        let snap = self.snapshot(
+            next_episode,
+            base_score,
+            best_score,
+            best_fs,
+            records,
+            episode_best,
+            total_secs,
+        );
+        checkpoint::write(&path, self.cfg, &snap)
+    }
+
+    /// Capture the complete run state at an episode boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &mut self,
+        next_episode: usize,
+        base_score: f64,
+        best_score: f64,
+        best_fs: &FeatureSet,
+        records: &[StepRecord],
+        episode_best: &[f64],
+        total_secs: f64,
+    ) -> checkpoint::Snapshot {
+        let mut telemetry = self.telemetry;
+        telemetry.total_secs = total_secs;
+        checkpoint::Snapshot {
+            data_fingerprint: checkpoint::dataset_fingerprint(self.original),
+            next_episode,
+            global_step: self.global_step,
+            base_score,
+            best_score,
+            best_exprs: best_fs.exprs.iter().map(|e| e.to_string()).collect(),
+            best_columns: best_fs.data.features.iter().map(|c| c.values.clone()).collect(),
+            records: records.to_vec(),
+            episode_best: episode_best.to_vec(),
+            telemetry,
+            rng: self.rng.state(),
+            agents: self.agents.save_state(),
+            predictor: self.predictor.save_state(),
+            novelty: self.novelty.save_state(),
+            replay: match &self.memory {
+                Memory::Prioritized(b) => checkpoint::ReplayState::Prioritized {
+                    capacity: b.capacity(),
+                    write: b.write_pos(),
+                    items: b.iter().cloned().collect(),
+                    priorities: (0..b.len()).map(|i| b.priority(i)).collect(),
+                },
+                Memory::Uniform(b) => checkpoint::ReplayState::Uniform {
+                    capacity: b.capacity(),
+                    write: b.write_pos(),
+                    items: b.iter().cloned().collect(),
+                },
+            },
+            tracker_history: self.tracker.history().to_vec(),
+            tracker_seen: self.tracker.seen_keys_sorted().into_iter().map(String::from).collect(),
+            eval_cache: self
+                .eval_cache
+                .entries_lru_to_mru()
+                .into_iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            eval_history: self.eval_history.clone(),
+            pred_history: self.pred_history.clone(),
+            nov_history: self.nov_history.clone(),
+            nov_count: self.nov_count,
+            nov_mean: self.nov_mean,
+            nov_m2: self.nov_m2,
+            stats_baseline: self
+                .stats_baseline
+                .merge(&self.predictor.stats().merge(&self.novelty.stats())),
+            quarantine: self
+                .quarantine
+                .entries_lru_to_mru()
+                .into_iter()
+                .map(|(k, ())| k.clone())
+                .collect(),
+        }
+    }
+
+    /// Load checkpointed state into a freshly-constructed run. The frozen
+    /// RND target and the prefix caches were already rebuilt by
+    /// [`Run::new`]; everything else comes from the snapshot.
+    fn restore(&mut self, snap: &checkpoint::Snapshot) -> FastFtResult<()> {
+        let bad = |what: &str, e: String| FastFtError::Parse(format!("checkpoint: {what}: {e}"));
+        self.rng = StdRng::from_state(snap.rng);
+        self.agents.load_state(&snap.agents).map_err(|e| bad("agents", e))?;
+        self.predictor.load_state(&snap.predictor).map_err(|e| bad("predictor", e))?;
+        self.novelty.load_state(&snap.novelty).map_err(|e| bad("novelty estimator", e))?;
+        self.memory = match &snap.replay {
+            checkpoint::ReplayState::Prioritized { capacity, write, items, priorities } => {
+                Memory::Prioritized(PrioritizedReplay::from_parts(
+                    *capacity,
+                    *write,
+                    items.clone(),
+                    priorities.clone(),
+                ))
+            }
+            checkpoint::ReplayState::Uniform { capacity, write, items } => {
+                Memory::Uniform(UniformReplay::from_parts(*capacity, *write, items.clone()))
+            }
+        };
+        self.tracker =
+            NoveltyTracker::from_parts(snap.tracker_history.clone(), snap.tracker_seen.clone());
+        self.eval_cache = LruCache::new(self.cfg.eval_cache_capacity);
+        for (k, v) in &snap.eval_cache {
+            self.eval_cache.insert(k.clone(), *v);
+        }
+        self.quarantine = LruCache::new(QUARANTINE_CAPACITY);
+        for k in &snap.quarantine {
+            self.quarantine.insert(k.clone(), ());
+        }
+        self.eval_history = snap.eval_history.clone();
+        self.pred_history = snap.pred_history.clone();
+        self.nov_history = snap.nov_history.clone();
+        self.nov_count = snap.nov_count;
+        self.nov_mean = snap.nov_mean;
+        self.nov_m2 = snap.nov_m2;
+        self.stats_baseline = snap.stats_baseline;
+        self.telemetry = snap.telemetry;
+        self.global_step = snap.global_step;
+        Ok(())
     }
 
     fn store_and_learn(&mut self, mem: MemoryUnit) {
@@ -600,15 +1025,40 @@ impl<'a> Run<'a> {
         }
     }
 
+    /// Run a component-training round under a fault guard: the predictor
+    /// and estimator weights are snapshotted first, and a round that
+    /// panics or leaves non-finite parameters is rolled back to the
+    /// snapshot (one `weight_rollbacks` count per restored component)
+    /// instead of poisoning every score after it.
+    fn train_guarded(&mut self, round: impl FnOnce(&mut Self)) {
+        let pred_backup = self.cfg.use_predictor.then(|| self.predictor.save_state());
+        let nov_backup = self.cfg.use_novelty.then(|| self.novelty.save_state());
+        let panicked = catch_unwind(AssertUnwindSafe(|| round(self))).is_err();
+        if let Some(b) = pred_backup {
+            if panicked || !self.predictor.params_finite() {
+                let _ = self.predictor.load_state(&b);
+                self.telemetry.weight_rollbacks += 1;
+            }
+        }
+        if let Some(b) = nov_backup {
+            if panicked || !self.novelty.params_finite() {
+                let _ = self.novelty.load_state(&b);
+                self.telemetry.weight_rollbacks += 1;
+            }
+        }
+    }
+
     /// Alg. 1 lines 14–19: initial training of both components from the
     /// cold-start collection.
     fn train_components_cold_start(&mut self) {
         let t_est = Instant::now();
         let passes = self.cfg.retrain_epochs.max(1);
         let history = self.eval_history.clone();
-        for _ in 0..passes {
-            self.train_components_on(&history, true);
-        }
+        self.train_guarded(move |run| {
+            for _ in 0..passes {
+                run.train_components_on(&history, true);
+            }
+        });
         self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
     }
 
@@ -625,14 +1075,17 @@ impl<'a> Run<'a> {
                 sampled.push((mem.seq.clone(), mem.perf));
             }
         }
-        self.train_components_on(&sampled, true);
-        // Anchor the predictor on real downstream results as well, so
-        // estimated rewards cannot drift from evaluated ones.
-        if self.cfg.use_predictor {
-            let recent = self.eval_history.len().saturating_sub(self.cfg.retrain_epochs);
-            let tail: Vec<(Vec<usize>, f64)> = self.eval_history[recent..].to_vec();
-            self.train_components_on(&tail, false);
-        }
+        let use_predictor = self.cfg.use_predictor;
+        let recent = self.eval_history.len().saturating_sub(self.cfg.retrain_epochs);
+        let tail: Vec<(Vec<usize>, f64)> = self.eval_history[recent..].to_vec();
+        self.train_guarded(move |run| {
+            run.train_components_on(&sampled, true);
+            // Anchor the predictor on real downstream results as well, so
+            // estimated rewards cannot drift from evaluated ones.
+            if use_predictor {
+                run.train_components_on(&tail, false);
+            }
+        });
         self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
     }
 }
@@ -670,6 +1123,54 @@ mod tests {
         assert!(result.best_score <= 1.0);
         assert_eq!(result.episode_best.len(), 4);
         assert_eq!(result.records.len(), 16);
+        assert_eq!(result.stop_reason, StopReason::Completed);
+        assert_eq!(result.telemetry.eval_faults, 0);
+        assert_eq!(result.telemetry.quarantined, 0);
+        assert_eq!(result.telemetry.weight_rollbacks, 0);
+    }
+
+    #[test]
+    fn eval_budget_stops_cleanly_with_best_so_far() {
+        let data = small_data("pima_indian", 120, 20);
+        let mut cfg = tiny_cfg();
+        cfg.max_downstream_evals = 4;
+        let r = FastFt::new(cfg.clone()).fit(&data).unwrap();
+        assert_eq!(r.stop_reason, StopReason::EvalBudget);
+        // Checked at step boundaries, so the budget is exact: the base
+        // evaluation plus three cold-start steps.
+        assert_eq!(r.telemetry.downstream_evals, 4);
+        assert!(r.best_score >= r.base_score);
+        assert!(r.records.len() < cfg.episodes * cfg.steps_per_episode);
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_before_first_step() {
+        let data = small_data("pima_indian", 120, 21);
+        let mut cfg = tiny_cfg();
+        cfg.max_wall_secs = 1e-9;
+        let r = FastFt::new(cfg).fit(&data).unwrap();
+        assert_eq!(r.stop_reason, StopReason::WallClock);
+        // The base evaluation already exceeds the budget, so the run stops
+        // at the very first step boundary with the original features.
+        assert!(r.records.is_empty());
+        assert_eq!(r.best_score, r.base_score);
+        assert_eq!(r.best_dataset.n_features(), data.n_features());
+    }
+
+    #[test]
+    fn budget_stop_prefix_matches_unbudgeted_run() {
+        // Budget checks must consume no RNG: the records produced before
+        // the stop are bitwise identical to the full run's prefix.
+        let data = small_data("pima_indian", 120, 22);
+        let full = FastFt::new(tiny_cfg()).fit(&data).unwrap();
+        let mut cfg = tiny_cfg();
+        cfg.max_downstream_evals = 6;
+        let stopped = FastFt::new(cfg).fit(&data).unwrap();
+        assert_eq!(stopped.stop_reason, StopReason::EvalBudget);
+        assert!(stopped.records.len() < full.records.len());
+        for (a, b) in stopped.records.iter().zip(&full.records) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod agents;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod engine;
@@ -51,7 +52,7 @@ pub mod transform;
 
 pub use agents::RlKind;
 pub use config::FastFtConfig;
-pub use engine::{FastFt, RunResult, StepRecord, Telemetry};
+pub use engine::{FastFt, RunResult, StepRecord, StopReason, Telemetry};
 pub use expr::Expr;
 pub use fastft_tabular::{FastFtError, FastFtResult};
 pub use ops::Op;

@@ -151,6 +151,20 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             self.push_front(slot);
         }
     }
+
+    /// Entries in recency order, least recently used first. Re-`insert`ing
+    /// them in this order into an empty cache reproduces the exact recency
+    /// chain, which is how checkpoints round-trip the memo cache.
+    pub fn entries_lru_to_mru(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut slot = self.tail;
+        while slot != NIL {
+            let e = &self.entries[slot];
+            out.push((&e.key, &e.value));
+            slot = e.prev;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +243,27 @@ mod tests {
         // Reusable after clearing.
         c.insert(4, 40);
         assert_eq!(c.get(&4), Some(&40));
+    }
+
+    #[test]
+    fn export_reimport_round_trips_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        c.get(&1); // order (MRU→LRU): 1, 3, 2
+        let exported: Vec<(u32, u32)> =
+            c.entries_lru_to_mru().into_iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(exported, vec![(2, 2), (3, 3), (1, 1)]);
+        let mut r: LruCache<u32, u32> = LruCache::new(3);
+        for (k, v) in exported {
+            r.insert(k, v);
+        }
+        // Same recency chain: inserting one more evicts the same victim.
+        c.insert(9, 9);
+        r.insert(9, 9);
+        assert!(c.get(&2).is_none() && r.get(&2).is_none());
+        assert_eq!(c.get(&1), r.get(&1));
     }
 
     #[test]

@@ -112,6 +112,27 @@ impl NoveltyEstimator {
         self.est_cache.stats().merge(&self.tgt_cache.stats())
     }
 
+    /// Capture the estimator's weights + optimiser state (checkpoint
+    /// export). The frozen target network is a pure function of the
+    /// construction seed and is rebuilt, not captured; the prefix caches
+    /// are wall-time optimisations and are likewise skipped.
+    pub fn save_state(&mut self) -> fastft_nn::NetState {
+        self.estimator.save_state()
+    }
+
+    /// Restore a snapshot taken on an identically-configured estimator.
+    pub fn load_state(&mut self, state: &fastft_nn::NetState) -> Result<(), String> {
+        self.estimator.load_state(state)?;
+        self.est_cache.invalidate();
+        Ok(())
+    }
+
+    /// Whether every trainable parameter is finite (NaN-gradient guard;
+    /// the frozen target is finite by construction).
+    pub fn params_finite(&mut self) -> bool {
+        self.estimator.params_finite()
+    }
+
     /// Parameter count of both networks.
     pub fn n_params(&self) -> usize {
         self.estimator.n_params() + self.target.n_params()
@@ -172,6 +193,24 @@ mod tests {
         let unseen_nov: f64 =
             unseen.iter().map(|s| ne.novelty(s)).sum::<f64>() / unseen.len() as f64;
         assert!(unseen_nov > 2.0 * seen_nov, "seen {seen_nov}, unseen {unseen_nov}");
+    }
+
+    #[test]
+    fn save_load_round_trips_with_rebuilt_target() {
+        let cfg = PredictorConfig { dim: 16, ..PredictorConfig::default() };
+        let mut trained = NoveltyEstimator::new(20, cfg, 3);
+        for s in seqs(4, 8, 20) {
+            trained.train_step(&s);
+        }
+        let state = trained.save_state();
+        // Same construction seed rebuilds the identical frozen target.
+        let mut fresh = NoveltyEstimator::new(20, cfg, 3);
+        fresh.load_state(&state).unwrap();
+        let probe = vec![1, 2, 3, 4];
+        assert_eq!(fresh.novelty(&probe), trained.novelty(&probe));
+        assert_eq!(fresh.train_step(&probe), trained.train_step(&probe));
+        assert_eq!(fresh.novelty(&probe), trained.novelty(&probe));
+        assert!(fresh.params_finite());
     }
 
     #[test]

@@ -70,6 +70,24 @@ impl NoveltyTracker {
     pub fn unencountered_count(&self) -> usize {
         self.seen.len()
     }
+
+    /// Recorded embeddings in observation order (checkpoint export).
+    pub fn history(&self) -> &[Vec<f64>] {
+        &self.history
+    }
+
+    /// Canonical keys seen so far, sorted for a deterministic checkpoint
+    /// encoding (the set itself is unordered).
+    pub fn seen_keys_sorted(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.seen.iter().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Rebuild a tracker from exported parts (checkpoint import).
+    pub fn from_parts(history: Vec<Vec<f64>>, seen: Vec<String>) -> Self {
+        NoveltyTracker { history, seen: seen.into_iter().collect() }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +140,21 @@ mod tests {
         t.observe(vec![1.0, 1.0], "a");
         assert_eq!(t.unencountered_count(), 2);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut t = NoveltyTracker::new();
+        t.observe(vec![1.0, 0.0], "b");
+        t.observe(vec![0.0, 1.0], "a");
+        t.observe(vec![1.0, 1.0], "a");
+        let history = t.history().to_vec();
+        let seen: Vec<String> = t.seen_keys_sorted().into_iter().map(str::to_owned).collect();
+        assert_eq!(seen, vec!["a".to_string(), "b".to_string()]);
+        let r = NoveltyTracker::from_parts(history, seen);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.unencountered_count(), 2);
+        assert_eq!(r.novelty_distance(&[0.9, 0.1]), t.novelty_distance(&[0.9, 0.1]));
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl PerformancePredictor {
         self.cache.stats()
     }
 
+    /// Capture network weights + optimiser state (checkpoint export). The
+    /// prefix cache is a pure wall-time optimisation and is not captured.
+    pub fn save_state(&mut self) -> fastft_nn::NetState {
+        self.net.save_state()
+    }
+
+    /// Restore a snapshot taken on an identically-configured predictor.
+    pub fn load_state(&mut self, state: &fastft_nn::NetState) -> Result<(), String> {
+        self.net.load_state(state)?;
+        self.cache.invalidate();
+        Ok(())
+    }
+
+    /// Whether every network parameter is finite (NaN-gradient guard).
+    pub fn params_finite(&mut self) -> bool {
+        self.net.params_finite()
+    }
+
     /// Parameter count (Fig. 11 memory accounting).
     pub fn n_params(&self) -> usize {
         self.net.n_params()
@@ -158,6 +176,24 @@ mod tests {
     fn predict_is_deterministic() {
         let p = PerformancePredictor::new(8, PredictorConfig::default(), 3);
         assert_eq!(p.predict(&[1, 2, 3]), p.predict(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let cfg = PredictorConfig { dim: 16, ..PredictorConfig::default() };
+        let mut trained = PerformancePredictor::new(10, cfg, 1);
+        for seq in training_data(2).iter().take(10) {
+            trained.train_step(seq, perf_of(seq));
+        }
+        let state = trained.save_state();
+        let mut fresh = PerformancePredictor::new(10, cfg, 9);
+        assert_ne!(fresh.predict(&[1, 2, 3]), trained.predict(&[1, 2, 3]));
+        fresh.load_state(&state).unwrap();
+        assert_eq!(fresh.predict(&[1, 2, 3]), trained.predict(&[1, 2, 3]));
+        // Subsequent training stays bitwise aligned (optimiser state too).
+        assert_eq!(fresh.train_step(&[1, 2, 3], 0.5), trained.train_step(&[1, 2, 3], 0.5));
+        assert_eq!(fresh.predict(&[3, 3]), trained.predict(&[3, 3]));
+        assert!(fresh.params_finite());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub fn summary(result: &RunResult) -> String {
         result.best_score - result.base_score
     );
     let _ = writeln!(s, "features   : {}", result.best_exprs.len());
+    let _ = writeln!(s, "stopped    : {}", result.stop_reason);
     let _ = writeln!(
         s,
         "evals      : {} downstream, {} predictor calls",
@@ -42,6 +43,13 @@ pub fn summary(result: &RunResult) -> String {
         t.prefix_misses,
         t.prefix_evictions
     );
+    if t.eval_faults > 0 || t.quarantined > 0 || t.weight_rollbacks > 0 {
+        let _ = writeln!(
+            s,
+            "faults     : {} eval faults, {} candidates quarantined, {} weight rollbacks",
+            t.eval_faults, t.quarantined, t.weight_rollbacks
+        );
+    }
     if t.score_batches > 0 {
         let _ = write!(s, "batch sizes:");
         for (i, n) in t.batch_size_hist.iter().enumerate() {
@@ -198,5 +206,9 @@ mod tests {
         let s = summary(&result);
         assert!(s.contains("best score"));
         assert!(s.contains("scoring"), "summary should report scoring counters:\n{s}");
+        assert!(
+            s.contains("stopped    : completed"),
+            "summary should report the stop reason:\n{s}"
+        );
     }
 }

@@ -64,7 +64,7 @@ impl ModelKind {
 
 /// K-fold cross-validation evaluator producing a single scalar score
 /// (higher is better) for a dataset's current feature set.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Evaluator {
     /// Downstream model family.
     pub model: ModelKind,
@@ -77,6 +77,9 @@ pub struct Evaluator {
     /// Split-search backend of the tree-stack models (forest, boosting,
     /// single tree); ignored by the linear/kNN families.
     pub split_method: SplitMethod,
+    /// Test-only fault-injection hook (see [`crate::fault`]); always `None`
+    /// in production configs.
+    pub fault_plan: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for Evaluator {
@@ -87,6 +90,7 @@ impl Default for Evaluator {
             folds: 5,
             seed: 0,
             split_method: SplitMethod::default(),
+            fault_plan: None,
         }
     }
 }
@@ -126,6 +130,13 @@ impl Evaluator {
     /// Fold randomness comes entirely from `self.seed`, so the result is
     /// identical to [`Evaluator::evaluate`] for any thread count.
     pub fn evaluate_with(&self, rt: &Runtime, data: &Dataset) -> FastFtResult<f64> {
+        if let Some(plan) = &self.fault_plan {
+            // Test-only hook: may panic (injected evaluator crash), stall
+            // (stuck fold) or substitute a corrupt score.
+            if let Some(injected) = plan.before_eval() {
+                return Ok(injected);
+            }
+        }
         if data.n_features() == 0 {
             return Err(FastFtError::Evaluation(format!(
                 "dataset `{}` has no feature columns",

@@ -1,0 +1,180 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] is attached to an [`Evaluator`](crate::Evaluator) by
+//! tests (and only tests — production configs leave it `None`). The plan
+//! watches a process-wide-free, plan-local eval counter: every call to
+//! `Evaluator::evaluate_with` consults the plan *before* doing any work, so
+//! fault N fires on the N-th downstream evaluation regardless of thread
+//! count. Faults are one-shot: an injected panic on eval N does not repeat
+//! on the retry (which is eval N+1), letting tests exercise both the retry
+//! and the quarantine paths.
+//!
+//! Clones of a plan share the same counter (it sits behind an `Arc`), so
+//! the engine cloning its config does not reset the schedule.
+
+use fastft_tabular::rngx::StdRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One scheduled fault, keyed by the 0-based downstream-eval index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the evaluator on eval `N` (a poisoned tree fit, a
+    /// singular fold — anything that unwinds).
+    PanicOnEval(usize),
+    /// Return a `NaN` score from eval `N` (degenerate metric).
+    NanScore(usize),
+    /// Sleep `millis` before eval `N` completes (stuck fold; exercises the
+    /// wall-clock budget path).
+    SlowEval {
+        /// Eval index the stall fires on.
+        eval: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Simulate an OOM-sized candidate on eval `N`: the evaluator aborts
+    /// the attempt by unwinding, as an allocation-failure guard would.
+    OomCandidate(usize),
+}
+
+impl FaultKind {
+    fn eval_index(self) -> usize {
+        match self {
+            FaultKind::PanicOnEval(n) | FaultKind::NanScore(n) | FaultKind::OomCandidate(n) => n,
+            FaultKind::SlowEval { eval, .. } => eval,
+        }
+    }
+}
+
+/// A deterministic schedule of evaluator faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from (bookkeeping; see
+    /// [`FaultPlan::seeded`]).
+    pub seed: u64,
+    faults: Vec<FaultKind>,
+    evals: Arc<AtomicUsize>,
+}
+
+impl FaultPlan {
+    /// A plan firing the given faults, in eval-index order.
+    pub fn new(faults: Vec<FaultKind>) -> Self {
+        FaultPlan { seed: 0, faults, evals: Arc::new(AtomicUsize::new(0)) }
+    }
+
+    /// A pseudo-random plan: `n_faults` faults of mixed kinds spread over
+    /// the first `max_eval` evaluations, fully determined by `seed`.
+    pub fn seeded(seed: u64, n_faults: usize, max_eval: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_FA17_FA17_FA17);
+        let faults = (0..n_faults)
+            .map(|_| {
+                let eval = rng.gen_range(0..max_eval.max(1));
+                match rng.gen_range(0..4u32) {
+                    0 => FaultKind::PanicOnEval(eval),
+                    1 => FaultKind::NanScore(eval),
+                    2 => FaultKind::SlowEval { eval, millis: rng.gen_range(1..5u64) },
+                    _ => FaultKind::OomCandidate(eval),
+                }
+            })
+            .collect();
+        FaultPlan { seed, faults, evals: Arc::new(AtomicUsize::new(0)) }
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// How many evaluations the plan has observed so far.
+    pub fn evals_seen(&self) -> usize {
+        self.evals.load(Ordering::SeqCst)
+    }
+
+    /// Number of scheduled faults that unwind or corrupt a score (panics,
+    /// OOMs and NaNs — everything except pure stalls) at an eval index
+    /// `< max_eval`. Tests use this to predict the engine's fault counter.
+    pub fn scoring_faults_before(&self, max_eval: usize) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| !matches!(f, FaultKind::SlowEval { .. }) && f.eval_index() < max_eval)
+            .count()
+    }
+
+    /// Called by the evaluator at the top of each evaluation. Applies any
+    /// fault scheduled for this eval index: panics, stalls, or returns
+    /// `Some(NaN)` for the caller to report as the (corrupt) score.
+    pub fn before_eval(&self) -> Option<f64> {
+        let idx = self.evals.fetch_add(1, Ordering::SeqCst);
+        let mut injected = None;
+        for fault in &self.faults {
+            match *fault {
+                FaultKind::SlowEval { eval, millis } if eval == idx => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                FaultKind::PanicOnEval(n) if n == idx => {
+                    panic!("injected fault: panic on eval {n}");
+                }
+                FaultKind::OomCandidate(n) if n == idx => {
+                    panic!("injected fault: oom-sized candidate rejected on eval {n}");
+                }
+                FaultKind::NanScore(n) if n == idx => {
+                    injected = Some(f64::NAN);
+                }
+                _ => {}
+            }
+        }
+        injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_on_their_eval_index() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::NanScore(1),
+            FaultKind::SlowEval { eval: 0, millis: 1 },
+        ]);
+        assert_eq!(plan.before_eval(), None); // eval 0: stall only
+        assert!(plan.before_eval().unwrap().is_nan()); // eval 1
+        assert_eq!(plan.before_eval(), None); // eval 2: past the plan
+        assert_eq!(plan.evals_seen(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic on eval 0")]
+    fn panic_fault_unwinds() {
+        FaultPlan::new(vec![FaultKind::PanicOnEval(0)]).before_eval();
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let plan = FaultPlan::new(vec![FaultKind::NanScore(1)]);
+        let clone = plan.clone();
+        assert_eq!(plan.before_eval(), None);
+        assert!(clone.before_eval().unwrap().is_nan(), "clone sees eval index 1");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(7, 5, 20);
+        let b = FaultPlan::seeded(7, 5, 20);
+        assert_eq!(a.faults(), b.faults());
+        assert_eq!(a.faults().len(), 5);
+        assert!(a.faults().iter().all(|f| f.eval_index() < 20));
+    }
+
+    #[test]
+    fn scoring_fault_count_excludes_stalls() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::PanicOnEval(0),
+            FaultKind::SlowEval { eval: 1, millis: 1 },
+            FaultKind::NanScore(2),
+            FaultKind::OomCandidate(9),
+        ]);
+        assert_eq!(plan.scoring_faults_before(5), 2);
+        assert_eq!(plan.scoring_faults_before(100), 3);
+    }
+}

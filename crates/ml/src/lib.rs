@@ -22,6 +22,7 @@
 pub mod binning;
 pub mod boosting;
 pub mod evaluator;
+pub mod fault;
 pub mod forest;
 pub mod knn;
 pub mod linear;
@@ -31,5 +32,6 @@ pub mod tree;
 
 pub use binning::BinnedMatrix;
 pub use evaluator::{Evaluator, ModelKind};
+pub use fault::{FaultKind, FaultPlan};
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor, SplitMethod};

@@ -24,6 +24,7 @@ pub mod optim;
 pub mod reference;
 pub mod rnn;
 pub mod seq;
+pub mod snapshot;
 pub mod transformer;
 pub mod workspace;
 
@@ -32,4 +33,5 @@ pub use matrix::{Matrix, Tensor};
 pub use mlp::Mlp;
 pub use optim::{Adam, Sgd};
 pub use seq::{EncoderKind, EncoderState, SequenceRegressor};
+pub use snapshot::NetState;
 pub use workspace::{LayerState, NnWorkspace};

@@ -32,6 +32,10 @@ impl Sgd {
     }
 }
 
+/// Per-parameter Adam moment vectors `(m, v)`, in parameter-list order
+/// (empty before the first step).
+pub type AdamMoments = Vec<(Vec<f64>, Vec<f64>)>;
+
 /// Adam (Kingma & Ba) with bias correction and optional global-norm clip.
 #[derive(Debug, Clone)]
 pub struct Adam {
@@ -46,7 +50,7 @@ pub struct Adam {
     /// Global-norm clip threshold (`None` = no clipping).
     pub clip: Option<f64>,
     t: u64,
-    state: Vec<(Vec<f64>, Vec<f64>)>, // (m, v) per parameter tensor
+    state: AdamMoments, // (m, v) per parameter tensor
 }
 
 impl Adam {
@@ -80,6 +84,20 @@ impl Adam {
             }
             p.zero_grad();
         }
+    }
+
+    /// Snapshot the optimizer's mutable state: the step count and the
+    /// per-parameter `(m, v)` moment vectors (empty before the first step).
+    pub fn snapshot(&self) -> (u64, AdamMoments) {
+        (self.t, self.state.clone())
+    }
+
+    /// Restore a state captured with [`Adam::snapshot`]. The moment list may
+    /// be empty (optimizer never stepped); otherwise its shape must match
+    /// the parameter list passed to future [`Adam::step`] calls.
+    pub fn restore(&mut self, t: u64, state: AdamMoments) {
+        self.t = t;
+        self.state = state;
     }
 }
 

@@ -243,6 +243,26 @@ impl SequenceRegressor {
         !matches!(self.kind, EncoderKind::Transformer { .. })
     }
 
+    /// Snapshot all trainable parameters (stable embedding → encoder → head
+    /// order) plus the Adam state. The capture is bitwise exact.
+    pub fn save_state(&mut self) -> crate::snapshot::NetState {
+        let params = collect_params(&mut self.emb, &mut self.enc, &mut self.head);
+        crate::snapshot::capture(&params, &self.opt)
+    }
+
+    /// Restore a [`SequenceRegressor::save_state`] snapshot. Fails if the
+    /// snapshot was taken from a differently-shaped network.
+    pub fn load_state(&mut self, state: &crate::snapshot::NetState) -> Result<(), String> {
+        let params = collect_params(&mut self.emb, &mut self.enc, &mut self.head);
+        crate::snapshot::restore(params, &mut self.opt, state)
+    }
+
+    /// Whether every live weight is finite (post-training divergence guard).
+    pub fn params_finite(&mut self) -> bool {
+        let params = collect_params(&mut self.emb, &mut self.enc, &mut self.head);
+        crate::snapshot::params_finite(&params)
+    }
+
     fn encode_infer(&self, tokens: &[usize]) -> Matrix {
         assert!(!tokens.is_empty(), "empty token sequence");
         let mut x = self.emb.infer(tokens);

@@ -14,7 +14,7 @@
 
 use fastft_nn::activation::softmax_inplace;
 use fastft_nn::matrix::Matrix;
-use fastft_nn::{Adam, Mlp};
+use fastft_nn::{snapshot, Adam, Mlp, NetState};
 use fastft_tabular::rngx::StdRng;
 
 /// A softmax candidate-scoring policy.
@@ -76,6 +76,16 @@ impl Actor {
         self.net.backward(&Matrix::from_vec(n, 1, dlogits));
         self.opt.step(self.net.parameters());
     }
+
+    /// Snapshot policy weights + optimizer state (bitwise exact).
+    pub fn save_state(&mut self) -> NetState {
+        snapshot::capture(&self.net.parameters(), &self.opt)
+    }
+
+    /// Restore a [`Actor::save_state`] snapshot.
+    pub fn load_state(&mut self, state: &NetState) -> Result<(), String> {
+        snapshot::restore(self.net.parameters(), &mut self.opt, state)
+    }
 }
 
 /// A state-value estimator `V(s)`.
@@ -105,6 +115,16 @@ impl Critic {
         self.net.backward(&Matrix::row_vector(vec![2.0 * err]));
         self.opt.step(self.net.parameters());
         err * err
+    }
+
+    /// Snapshot value-net weights + optimizer state (bitwise exact).
+    pub fn save_state(&mut self) -> NetState {
+        snapshot::capture(&self.net.parameters(), &self.opt)
+    }
+
+    /// Restore a [`Critic::save_state`] snapshot.
+    pub fn load_state(&mut self, state: &NetState) -> Result<(), String> {
+        snapshot::restore(self.net.parameters(), &mut self.opt, state)
     }
 }
 

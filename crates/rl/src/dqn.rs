@@ -13,7 +13,7 @@ use fastft_nn::activation::Activation;
 use fastft_nn::dense::Dense;
 use fastft_nn::init;
 use fastft_nn::matrix::{Matrix, Tensor};
-use fastft_nn::Adam;
+use fastft_nn::{snapshot, Adam, NetState};
 use fastft_tabular::rngx::StdRng;
 
 /// Which Q-learning variant an agent runs.
@@ -204,6 +204,45 @@ impl QAgent {
         }
         -delta
     }
+
+    /// Snapshot online net + optimizer, target net weights and the update
+    /// counter that drives target syncing (bitwise exact).
+    pub fn save_state(&mut self) -> QAgentState {
+        QAgentState {
+            online: snapshot::capture(&self.online.parameters(), &self.opt),
+            target: self.target.parameters().iter().map(|p| p.value.data.clone()).collect(),
+            updates: self.updates as u64,
+        }
+    }
+
+    /// Restore a [`QAgent::save_state`] snapshot.
+    pub fn load_state(&mut self, state: &QAgentState) -> Result<(), String> {
+        snapshot::restore(self.online.parameters(), &mut self.opt, &state.online)?;
+        let params = self.target.parameters();
+        if params.len() != state.target.len() {
+            return Err("target net parameter count mismatch".into());
+        }
+        for (p, s) in params.into_iter().zip(&state.target) {
+            if p.len() != s.len() {
+                return Err("target net parameter shape mismatch".into());
+            }
+            p.value.data.copy_from_slice(s);
+            p.zero_grad();
+        }
+        self.updates = state.updates as usize;
+        Ok(())
+    }
+}
+
+/// Checkpoint snapshot of a [`QAgent`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QAgentState {
+    /// Online network weights + Adam state.
+    pub online: NetState,
+    /// Target network weights (no optimizer), stable parameter order.
+    pub target: Vec<Vec<f64>>,
+    /// Update counter (drives the periodic hard target sync).
+    pub updates: u64,
 }
 
 #[cfg(test)]

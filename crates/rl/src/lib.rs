@@ -14,6 +14,6 @@ pub mod replay;
 pub mod schedule;
 
 pub use actor_critic::ActorCritic;
-pub use dqn::{QAgent, QKind};
+pub use dqn::{QAgent, QAgentState, QKind};
 pub use replay::{PrioritizedReplay, Transition, UniformReplay};
 pub use schedule::ExpDecay;

@@ -135,6 +135,28 @@ impl<M> PrioritizedReplay<M> {
     pub fn priority(&self, index: usize) -> f64 {
         self.priorities[index]
     }
+
+    /// Ring write cursor (next slot to overwrite once full), for
+    /// checkpointing.
+    pub fn write_pos(&self) -> usize {
+        self.write
+    }
+
+    /// Rebuild a buffer from checkpointed parts. `items` are in slot order
+    /// (as produced by [`PrioritizedReplay::iter`] zipped with
+    /// [`PrioritizedReplay::priority`]); the rebuilt buffer is functionally
+    /// identical to the captured one.
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent (more items than capacity,
+    /// mismatched priority count, or an out-of-range write cursor).
+    pub fn from_parts(capacity: usize, write: usize, items: Vec<M>, priorities: Vec<f64>) -> Self {
+        assert!(capacity >= 1);
+        assert!(items.len() <= capacity, "more items than capacity");
+        assert_eq!(items.len(), priorities.len(), "item/priority count mismatch");
+        assert!(write < capacity, "write cursor out of range");
+        PrioritizedReplay { capacity, items, priorities, write, eps: 1e-3 }
+    }
 }
 
 /// Plain FIFO buffer with uniform sampling (the FASTFT⁻ᴿᶜᵀ ablation).
@@ -184,6 +206,28 @@ impl<M> UniformReplay<M> {
     /// Iterate over stored memories.
     pub fn iter(&self) -> impl Iterator<Item = &M> {
         self.items.iter()
+    }
+
+    /// Buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ring write cursor, for checkpointing.
+    pub fn write_pos(&self) -> usize {
+        self.write
+    }
+
+    /// Rebuild a buffer from checkpointed parts (see
+    /// [`PrioritizedReplay::from_parts`]).
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent.
+    pub fn from_parts(capacity: usize, write: usize, items: Vec<M>) -> Self {
+        assert!(capacity >= 1);
+        assert!(items.len() <= capacity, "more items than capacity");
+        assert!(write < capacity, "write cursor out of range");
+        UniformReplay { capacity, items, write }
     }
 }
 
@@ -274,6 +318,49 @@ mod tests {
         }
         for &c in &counts {
             assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_prioritized() {
+        let mut buf = PrioritizedReplay::new(3);
+        for i in 0..5 {
+            buf.push(i, i as f64);
+        }
+        let items: Vec<i32> = buf.iter().copied().collect();
+        let prios: Vec<f64> = (0..buf.len()).map(|i| buf.priority(i)).collect();
+        let rebuilt = PrioritizedReplay::from_parts(buf.capacity(), buf.write_pos(), items, prios);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(buf.sample(&mut a), rebuilt.sample(&mut b));
+        }
+        // Pushing after the rebuild overwrites the same slot.
+        let mut buf2 = buf.clone();
+        let mut rebuilt2 = rebuilt.clone();
+        buf2.push(99, 1.0);
+        rebuilt2.push(99, 1.0);
+        assert_eq!(
+            buf2.iter().copied().collect::<Vec<_>>(),
+            rebuilt2.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_uniform() {
+        let mut buf = UniformReplay::new(2);
+        for i in 0..3 {
+            buf.push(i);
+        }
+        let rebuilt = UniformReplay::from_parts(
+            buf.capacity(),
+            buf.write_pos(),
+            buf.iter().copied().collect(),
+        );
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            assert_eq!(buf.sample(&mut a), rebuilt.sample(&mut b));
         }
     }
 

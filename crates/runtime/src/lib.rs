@@ -26,6 +26,11 @@
 //! - **Panic transparency.** A panicking job is caught on the worker and
 //!   re-raised on the submitting thread once the batch completes, so
 //!   `par_map` panics exactly like the equivalent serial loop would.
+//! - **Poison recovery.** Every pool lock is acquired with
+//!   `unwrap_or_else(|e| e.into_inner())`: the queue and batch mutexes only
+//!   guard data that stays consistent across an unwind (a `VecDeque` of
+//!   jobs, a panic payload slot), so a panic that poisons one must not wedge
+//!   every subsequent batch.
 //!
 //! The pool joins its workers on `Drop`, so a `Runtime` can be created and
 //! discarded freely (though reusing one across calls is what makes the pool
@@ -51,14 +56,14 @@ struct Shared {
 impl Shared {
     /// Pop one job, or `None` immediately if the queue is empty.
     fn try_pop(&self) -> Option<Job> {
-        self.queue.lock().expect("runtime queue poisoned").pop_front()
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
     }
 
     /// Worker loop: block until a job or shutdown arrives.
     fn worker_loop(&self) {
         loop {
             let job = {
-                let mut q = self.queue.lock().expect("runtime queue poisoned");
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if let Some(job) = q.pop_front() {
                         break job;
@@ -66,7 +71,7 @@ impl Shared {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    q = self.work_ready.wait(q).expect("runtime queue poisoned");
+                    q = self.work_ready.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             };
             job();
@@ -95,11 +100,11 @@ impl Batch {
     /// Record one finished item (optionally with a payload from a panic).
     fn complete_one(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
         if let Some(p) = panic {
-            let mut slot = self.panic.lock().expect("runtime batch poisoned");
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
             slot.get_or_insert(p);
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = self.done_lock.lock().expect("runtime batch poisoned");
+            let _g = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
             self.done.notify_all();
         }
     }
@@ -260,7 +265,7 @@ impl Runtime {
         let staged: Vec<J> = jobs.collect();
         let batch = Batch::new(staged.len());
         {
-            let mut q = self.shared.queue.lock().expect("runtime queue poisoned");
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             for job in staged {
                 let batch = Arc::clone(&batch);
                 let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
@@ -285,18 +290,18 @@ impl Runtime {
             if let Some(job) = self.shared.try_pop() {
                 job();
             } else {
-                let guard = batch.done_lock.lock().expect("runtime batch poisoned");
+                let guard = batch.done_lock.lock().unwrap_or_else(|e| e.into_inner());
                 if !batch.is_done() {
                     // Re-check with a timeout: a job may land between the
                     // try_pop and the wait, and workers only signal `done`.
                     let _ = batch
                         .done
                         .wait_timeout(guard, std::time::Duration::from_millis(1))
-                        .expect("runtime batch poisoned");
+                        .unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
-        let panic = batch.panic.lock().expect("runtime batch poisoned").take();
+        let panic = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(p) = panic {
             resume_unwind(p);
         }
@@ -308,7 +313,7 @@ impl Drop for Runtime {
         self.shared.shutdown.store(true, Ordering::Release);
         // Wake all workers so they observe the flag.
         {
-            let _q = self.shared.queue.lock().expect("runtime queue poisoned");
+            let _q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             self.shared.work_ready.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -420,6 +425,38 @@ mod tests {
         assert!(caught.is_err());
         // Pool still usable after a panicking batch.
         assert_eq!(rt.par_map(vec![1, 2], |x: i32| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn panicking_batch_then_normal_batch() {
+        // The ISSUE-4 regression: a batch full of panicking jobs must not
+        // wedge the pool for the next, well-behaved batch.
+        let rt = Runtime::new(4);
+        for round in 0..3 {
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                rt.par_map((0..16).collect(), |x: i32| -> i32 { panic!("boom {x}") });
+            }));
+            assert!(caught.is_err(), "round {round}");
+            assert_eq!(
+                rt.par_map((0..8).collect(), |x: i32| x + round),
+                (0..8).map(|x| x + round).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_queue_mutex_is_recovered() {
+        let rt = Runtime::new(2);
+        // Poison the queue lock directly: panic on a helper thread while
+        // holding it, as a job landing mid-push would.
+        let shared = Arc::clone(&rt.shared);
+        let _ = std::thread::spawn(move || {
+            let _g = shared.queue.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        assert!(rt.shared.queue.lock().is_err(), "lock should be poisoned");
+        assert_eq!(rt.par_map(vec![1, 2, 3], |x: i32| x * 2), vec![2, 4, 6]);
     }
 
     #[test]

@@ -106,6 +106,17 @@ impl StdRng {
             slice.swap(i, j);
         }
     }
+
+    /// The raw xoshiro256++ state, for checkpointing. Restoring it with
+    /// [`StdRng::from_state`] resumes the stream exactly where it left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a captured [`StdRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
 }
 
 /// Types [`StdRng::gen`] can produce.
