@@ -5,7 +5,7 @@
 use crate::report::Table;
 use crate::Scale;
 use fastft_baselines::{expansion::Rfg, FeatureTransformMethod, RunContext};
-use fastft_core::FastFt;
+use fastft_core::Session;
 use fastft_runtime::Runtime;
 use fastft_tabular::noise;
 
@@ -13,6 +13,8 @@ use fastft_tabular::noise;
 pub fn run(scale: Scale) {
     let rt = Runtime::from_env();
     let evaluator = scale.evaluator();
+    // One session: all four corrupted datasets run over the same pool.
+    let session = Session::new(scale.fastft_config(0)).expect("valid config");
     let mut table = Table::new(["Corruption", "Base", "RFG", "FASTFT", "FASTFT gain"]);
     let settings: [(&str, f64, f64); 4] = [
         ("clean", 0.0, 0.0),
@@ -32,7 +34,7 @@ pub fn run(scale: Scale) {
         let base = evaluator.evaluate(&data).expect("base evaluation");
         let ctx = RunContext::new(&evaluator, &rt, 0);
         let rfg = Rfg::default().run(&data, &ctx).expect("RFG run").score;
-        let fast = FastFt::new(scale.fastft_config(0)).fit(&data).expect("FASTFT fit").best_score;
+        let fast = session.run(&data).expect("FASTFT fit").best_score;
         table.row([
             label.to_string(),
             format!("{base:.3}"),

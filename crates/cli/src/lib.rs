@@ -23,7 +23,7 @@ pub enum Command {
     /// `fastft run --data x.csv --task classification [--classes N]
     /// [--episodes N] [--steps N] [--seed N] [--out features.txt]
     /// [--max-seconds S] [--max-evals N] [--checkpoint ckpt.bin]
-    /// [--checkpoint-every N] [--resume ckpt.bin]`
+    /// [--checkpoint-every N] [--resume ckpt.bin] [--threads N]`
     Run {
         /// Input CSV (last column = target).
         data: PathBuf,
@@ -50,6 +50,8 @@ pub enum Command {
         /// Resume from this checkpoint instead of starting fresh
         /// (`--episodes`/`--steps`/`--seed` come from the checkpoint).
         resume: Option<PathBuf>,
+        /// Worker threads for the runtime pool (0 = auto-detect).
+        threads: usize,
     },
     /// `fastft apply --data x.csv --features features.txt --task t
     /// [--classes N] --out transformed.csv`
@@ -94,6 +96,7 @@ USAGE:
                   [--checkpoint <file>] [--checkpoint-every N]
                   [--resume <file>]     continue a checkpointed run (episode/
                                         step/seed settings come from the file)
+                  [--threads N]         worker threads (0 = auto-detect)
   fastft apply    --data <csv> --features <file> --task <t> [--classes N]
                   --out <csv>
   fastft generate --name <dataset> [--rows N] [--seed N] --out <csv>
@@ -157,6 +160,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             checkpoint: flags.get("checkpoint").map(PathBuf::from),
             checkpoint_every: parse_usize("checkpoint-every", 1)?,
             resume: flags.get("resume").map(PathBuf::from),
+            threads: parse_usize("threads", 0)?,
         }),
         "apply" => Ok(Command::Apply {
             data: PathBuf::from(get("data")?),
@@ -224,6 +228,7 @@ pub fn execute(cmd: Command) -> FastFtResult<()> {
             checkpoint,
             checkpoint_every,
             resume,
+            threads,
         } => {
             let mut d = load_csv(&data, task, classes)?;
             impute::impute(&mut d, impute::ImputeStrategy::Median);
@@ -237,11 +242,13 @@ pub fn execute(cmd: Command) -> FastFtResult<()> {
             let result = if let Some(ckpt) = resume {
                 println!("resuming from {}", ckpt.display());
                 // The checkpoint carries the run's configuration; the CLI
-                // only overrides budgets and checkpointing, which are safe
-                // to change without breaking resume parity.
+                // only overrides budgets, checkpointing and the thread
+                // count, all of which are safe to change without breaking
+                // resume parity (results are thread-count invariant).
                 FastFt::resume_with(&ckpt, &d, |cfg| {
                     cfg.max_wall_secs = max_seconds;
                     cfg.max_downstream_evals = max_evals;
+                    cfg.threads = threads;
                     if let Some(path) = checkpoint {
                         cfg.checkpoint_path = Some(path);
                         cfg.checkpoint_every = checkpoint_every.max(1);
@@ -262,6 +269,7 @@ pub fn execute(cmd: Command) -> FastFtResult<()> {
                         0
                     },
                     checkpoint_path: checkpoint,
+                    threads,
                     ..FastFtConfig::quick()
                 };
                 FastFt::new(cfg).fit(&d)?
@@ -314,7 +322,8 @@ mod tests {
     #[test]
     fn parses_run_command() {
         let cmd = parse_args(&argv(
-            "run --data x.csv --task classification --episodes 5 --seed 3 --out f.txt",
+            "run --data x.csv --task classification --episodes 5 --seed 3 --out f.txt \
+             --threads 4",
         ))
         .unwrap();
         assert_eq!(
@@ -332,6 +341,7 @@ mod tests {
                 checkpoint: None,
                 checkpoint_every: 1,
                 resume: None,
+                threads: 4,
             }
         );
     }
@@ -409,6 +419,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 1,
             resume: None,
+            threads: 0,
         })
         .unwrap();
         let text = std::fs::read_to_string(&feats).unwrap();
@@ -433,6 +444,41 @@ mod tests {
     fn datasets_and_help_execute() {
         execute(Command::Datasets).unwrap();
         execute(Command::Help).unwrap();
+    }
+
+    #[test]
+    fn threads_flag_runs_end_to_end_and_is_result_invariant() {
+        let dir = std::env::temp_dir().join("fastft_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pima.csv");
+        execute(Command::Generate {
+            name: "pima_indian".into(),
+            rows: 100,
+            seed: 0,
+            out: csv.clone(),
+        })
+        .unwrap();
+
+        // Same run twice, differing only in --threads: the pool size must
+        // change how work is scheduled, never what features come out.
+        let mut outs = Vec::new();
+        for threads in [1usize, 2] {
+            let feats = dir.join(format!("features_{threads}.txt"));
+            let cmd = parse_args(&argv(&format!(
+                "run --data {} --task c --episodes 2 --steps 2 --seed 7 --out {} --threads {threads}",
+                csv.display(),
+                feats.display(),
+            )))
+            .unwrap();
+            let Command::Run { threads: parsed, .. } = &cmd else { panic!("expected run") };
+            assert_eq!(*parsed, threads);
+            execute(cmd).unwrap();
+            outs.push(std::fs::read_to_string(&feats).unwrap());
+            std::fs::remove_file(&feats).ok();
+        }
+        assert!(!outs[0].trim().is_empty());
+        assert_eq!(outs[0], outs[1], "feature set must not depend on thread count");
+        std::fs::remove_file(&csv).ok();
     }
 
     #[test]
@@ -464,6 +510,7 @@ mod tests {
             checkpoint: Some(ckpt.clone()),
             checkpoint_every: 1,
             resume: None,
+            threads: 0,
         };
         execute(budgeted).unwrap();
         assert!(ckpt.exists(), "budget-stopped run should leave a checkpoint");
@@ -482,6 +529,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 1,
             resume: Some(ckpt.clone()),
+            threads: 0,
         })
         .unwrap();
         assert!(!std::fs::read_to_string(&feats).unwrap().trim().is_empty());

@@ -11,6 +11,7 @@ use fastft_nn::NetState;
 use fastft_rl::actor_critic::{Actor, Critic};
 use fastft_rl::dqn::{QAgent, QAgentState, QKind};
 use fastft_rl::schedule::LinearDecay;
+use fastft_tabular::persist::{Persist, PersistResult, Reader, Writer};
 use fastft_tabular::rngx::StdRng;
 
 /// Which reinforcement-learning framework drives the cascading agents.
@@ -67,6 +68,125 @@ pub struct MemoryUnit {
     pub seq: Vec<usize>,
     /// Performance associated with the sequence.
     pub perf: f64,
+}
+
+impl Persist for RlKind {
+    fn persist(&self, w: &mut Writer) {
+        // Fixed-width two-byte encoding: framework tag + Q-variant tag
+        // (zero for actor-critic).
+        match self {
+            RlKind::ActorCritic => {
+                w.u8(0);
+                w.u8(0);
+            }
+            RlKind::Q(q) => {
+                w.u8(1);
+                q.persist(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        let tag = r.u8()?;
+        match tag {
+            0 => {
+                r.u8()?;
+                Ok(RlKind::ActorCritic)
+            }
+            1 => Ok(RlKind::Q(fastft_rl::QKind::restore(r)?)),
+            t => Err(format!("unknown rl tag {t}")),
+        }
+    }
+}
+
+impl Persist for Decision {
+    fn persist(&self, w: &mut Writer) {
+        let Decision { candidates, action } = self;
+        candidates.persist(w);
+        action.persist(w);
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(Decision { candidates: Persist::restore(r)?, action: Persist::restore(r)? })
+    }
+}
+
+impl Persist for MemoryUnit {
+    fn persist(&self, w: &mut Writer) {
+        let MemoryUnit {
+            state,
+            next_state,
+            reward,
+            head,
+            op,
+            tail,
+            next_head_candidates,
+            seq,
+            perf,
+        } = self;
+        state.persist(w);
+        next_state.persist(w);
+        reward.persist(w);
+        head.persist(w);
+        op.persist(w);
+        tail.persist(w);
+        next_head_candidates.persist(w);
+        seq.persist(w);
+        perf.persist(w);
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(MemoryUnit {
+            state: Persist::restore(r)?,
+            next_state: Persist::restore(r)?,
+            reward: Persist::restore(r)?,
+            head: Persist::restore(r)?,
+            op: Persist::restore(r)?,
+            tail: Persist::restore(r)?,
+            next_head_candidates: Persist::restore(r)?,
+            seq: Persist::restore(r)?,
+            perf: Persist::restore(r)?,
+        })
+    }
+}
+
+impl Persist for AgentsState {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            AgentsState::Ac { head, op, tail, critic } => {
+                w.u8(0);
+                head.persist(w);
+                op.persist(w);
+                tail.persist(w);
+                critic.persist(w);
+            }
+            AgentsState::Q { head, op, tail, eps_step } => {
+                w.u8(1);
+                head.persist(w);
+                op.persist(w);
+                tail.persist(w);
+                eps_step.persist(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(match r.u8()? {
+            0 => AgentsState::Ac {
+                head: Persist::restore(r)?,
+                op: Persist::restore(r)?,
+                tail: Persist::restore(r)?,
+                critic: Persist::restore(r)?,
+            },
+            1 => AgentsState::Q {
+                head: Persist::restore(r)?,
+                op: Persist::restore(r)?,
+                tail: Persist::restore(r)?,
+                eps_step: Persist::restore(r)?,
+            },
+            t => return Err(format!("unknown agents tag {t}")),
+        })
+    }
 }
 
 // One instance per engine run; the variant size gap is irrelevant.

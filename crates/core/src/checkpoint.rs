@@ -15,21 +15,21 @@
 //! changes `prefix_hits`/`prefix_misses` but never a score.
 //!
 //! Format: magic `FFTCKPT1`, a `u32` version, then the configuration and
-//! snapshot in a little-endian binary layout (`f64` as IEEE-754 bits, so
-//! floats survive exactly). Files are written to a temporary sibling and
-//! atomically renamed into place, so a crash mid-write never corrupts the
-//! previous checkpoint.
+//! snapshot in the workspace-wide [`Persist`] layout (little-endian, `f64`
+//! as IEEE-754 bits, so floats survive exactly). Every component encodes
+//! itself next to its own definition — this module only concatenates the
+//! pieces, so it never enumerates another component's internals. Files are
+//! written to a temporary sibling and atomically renamed into place, so a
+//! crash mid-write never corrupts the previous checkpoint.
 //!
 //! [`FastFtConfig::checkpoint_every`]: crate::config::FastFtConfig::checkpoint_every
 
-use crate::agents::{AgentsState, Decision, MemoryUnit};
+use crate::agents::{AgentsState, MemoryUnit};
 use crate::config::FastFtConfig;
 use crate::engine::{StepRecord, Telemetry};
-use crate::scoring::{ScoreStats, BATCH_HIST_BUCKETS};
-use fastft_ml::{Evaluator, ModelKind, SplitMethod};
-use fastft_nn::{EncoderKind, NetState};
-use fastft_rl::{QAgentState, QKind};
-use fastft_tabular::metrics::Metric;
+use crate::scoring::ScoreStats;
+use fastft_nn::NetState;
+use fastft_tabular::persist::{Persist, PersistResult, Reader, Writer};
 use fastft_tabular::{Dataset, FastFtError, FastFtResult, TaskType};
 use std::path::Path;
 
@@ -39,30 +39,10 @@ pub const MAGIC: [u8; 8] = *b"FFTCKPT1";
 /// reject newer files with a typed error instead of misparsing them.
 pub const VERSION: u32 = 1;
 
-/// Replay-buffer contents in slot order, matching the configured variant.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ReplayState {
-    /// Prioritized ring buffer (the paper's default).
-    Prioritized {
-        /// Buffer capacity.
-        capacity: usize,
-        /// Ring write cursor.
-        write: usize,
-        /// Stored memories in slot order.
-        items: Vec<MemoryUnit>,
-        /// Slot priorities (`|δ| + ε`), parallel to `items`.
-        priorities: Vec<f64>,
-    },
-    /// Uniform FIFO buffer (FASTFT⁻ᴿᶜᵀ).
-    Uniform {
-        /// Buffer capacity.
-        capacity: usize,
-        /// Ring write cursor.
-        write: usize,
-        /// Stored memories in slot order.
-        items: Vec<MemoryUnit>,
-    },
-}
+/// Replay-buffer contents in slot order, matching the configured variant —
+/// the generic [`fastft_rl::ReplayState`] instantiated with the engine's
+/// [`MemoryUnit`].
+pub type ReplayState = fastft_rl::ReplayState<MemoryUnit>;
 
 /// Everything the engine needs to continue a run from an episode boundary.
 #[derive(Debug, Clone)]
@@ -124,6 +104,98 @@ pub struct Snapshot {
     pub quarantine: Vec<String>,
 }
 
+impl Persist for Snapshot {
+    fn persist(&self, w: &mut Writer) {
+        // Exhaustive destructure: a new snapshot field refuses to compile
+        // until it is persisted here and restored below.
+        let Snapshot {
+            data_fingerprint,
+            next_episode,
+            global_step,
+            base_score,
+            best_score,
+            best_exprs,
+            best_columns,
+            records,
+            episode_best,
+            telemetry,
+            rng,
+            agents,
+            predictor,
+            novelty,
+            replay,
+            tracker_history,
+            tracker_seen,
+            eval_cache,
+            eval_history,
+            pred_history,
+            nov_history,
+            nov_count,
+            nov_mean,
+            nov_m2,
+            stats_baseline,
+            quarantine,
+        } = self;
+        data_fingerprint.persist(w);
+        next_episode.persist(w);
+        global_step.persist(w);
+        base_score.persist(w);
+        best_score.persist(w);
+        best_exprs.persist(w);
+        best_columns.persist(w);
+        records.persist(w);
+        episode_best.persist(w);
+        telemetry.persist(w);
+        rng.persist(w);
+        agents.persist(w);
+        predictor.persist(w);
+        novelty.persist(w);
+        replay.persist(w);
+        tracker_history.persist(w);
+        tracker_seen.persist(w);
+        eval_cache.persist(w);
+        eval_history.persist(w);
+        pred_history.persist(w);
+        nov_history.persist(w);
+        nov_count.persist(w);
+        nov_mean.persist(w);
+        nov_m2.persist(w);
+        stats_baseline.persist(w);
+        quarantine.persist(w);
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(Snapshot {
+            data_fingerprint: Persist::restore(r)?,
+            next_episode: Persist::restore(r)?,
+            global_step: Persist::restore(r)?,
+            base_score: Persist::restore(r)?,
+            best_score: Persist::restore(r)?,
+            best_exprs: Persist::restore(r)?,
+            best_columns: Persist::restore(r)?,
+            records: Persist::restore(r)?,
+            episode_best: Persist::restore(r)?,
+            telemetry: Persist::restore(r)?,
+            rng: Persist::restore(r)?,
+            agents: Persist::restore(r)?,
+            predictor: Persist::restore(r)?,
+            novelty: Persist::restore(r)?,
+            replay: Persist::restore(r)?,
+            tracker_history: Persist::restore(r)?,
+            tracker_seen: Persist::restore(r)?,
+            eval_cache: Persist::restore(r)?,
+            eval_history: Persist::restore(r)?,
+            pred_history: Persist::restore(r)?,
+            nov_history: Persist::restore(r)?,
+            nov_count: Persist::restore(r)?,
+            nov_mean: Persist::restore(r)?,
+            nov_m2: Persist::restore(r)?,
+            stats_baseline: Persist::restore(r)?,
+            quarantine: Persist::restore(r)?,
+        })
+    }
+}
+
 /// FNV-1a fingerprint of a dataset's identity: shape, task, class count,
 /// column names and the exact bits of every value and target. The dataset
 /// *name* is deliberately excluded so a renamed copy still resumes.
@@ -173,772 +245,23 @@ impl Fnv {
 }
 
 // ---------------------------------------------------------------------------
-// Binary primitives
-// ---------------------------------------------------------------------------
-
-#[derive(Default)]
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    fn bool(&mut self, v: bool) {
-        self.u8(u8::from(v));
-    }
-
-    fn str(&mut self, s: &str) {
-        self.usize(s.len());
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-
-    fn vec_f64(&mut self, v: &[f64]) {
-        self.usize(v.len());
-        for &x in v {
-            self.f64(x);
-        }
-    }
-
-    fn vec_vec_f64(&mut self, v: &[Vec<f64>]) {
-        self.usize(v.len());
-        for x in v {
-            self.vec_f64(x);
-        }
-    }
-
-    fn vec_usize(&mut self, v: &[usize]) {
-        self.usize(v.len());
-        for &x in v {
-            self.usize(x);
-        }
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-type Res<T> = Result<T, String>;
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Res<&'a [u8]> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| format!("truncated at byte {} (wanted {} more)", self.pos, n))?;
-        let out = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Res<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Res<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Res<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn usize(&mut self) -> Res<usize> {
-        let v = self.u64()?;
-        usize::try_from(v).map_err(|_| format!("length {v} exceeds platform usize"))
-    }
-
-    /// A length that bounds an upcoming allocation. Each element occupies
-    /// at least one byte in the stream, so any honest length is bounded by
-    /// the remaining input — rejecting larger values stops a corrupt
-    /// header from triggering a huge allocation.
-    fn len(&mut self) -> Res<usize> {
-        let v = self.usize()?;
-        if v > self.buf.len() - self.pos {
-            return Err(format!("length {v} exceeds remaining input"));
-        }
-        Ok(v)
-    }
-
-    fn f64(&mut self) -> Res<f64> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn bool(&mut self) -> Res<bool> {
-        Ok(self.u8()? != 0)
-    }
-
-    fn str(&mut self) -> Res<String> {
-        let n = self.len()?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
-    }
-
-    fn vec_f64(&mut self) -> Res<Vec<f64>> {
-        let n = self.len()?;
-        (0..n).map(|_| self.f64()).collect()
-    }
-
-    fn vec_vec_f64(&mut self) -> Res<Vec<Vec<f64>>> {
-        let n = self.len()?;
-        (0..n).map(|_| self.vec_f64()).collect()
-    }
-
-    fn vec_usize(&mut self) -> Res<Vec<usize>> {
-        let n = self.len()?;
-        (0..n).map(|_| self.usize()).collect()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Component encodings
-// ---------------------------------------------------------------------------
-
-fn put_config(w: &mut Writer, cfg: &FastFtConfig) {
-    w.usize(cfg.episodes);
-    w.usize(cfg.steps_per_episode);
-    w.usize(cfg.cold_start_episodes);
-    w.usize(cfg.retrain_every);
-    w.usize(cfg.retrain_epochs);
-    w.f64(cfg.alpha);
-    w.f64(cfg.beta);
-    w.f64(cfg.eps_start);
-    w.f64(cfg.eps_end);
-    w.f64(cfg.decay_m);
-    w.usize(cfg.memory_size);
-    w.f64(cfg.gamma);
-    w.f64(cfg.lr);
-    w.f64(cfg.agent_lr);
-    w.usize(cfg.agent_hidden);
-    w.f64(cfg.max_features_factor);
-    w.usize(cfg.max_features_cap);
-    w.usize(cfg.max_new_per_step);
-    w.usize(cfg.max_seq_len);
-    w.f64(cfg.cluster_threshold);
-    w.usize(cfg.mi_bins);
-    put_evaluator(w, &cfg.evaluator);
-    w.usize(cfg.eval_cache_capacity);
-    w.bool(cfg.batched_scoring);
-    w.usize(cfg.prefix_cache_capacity);
-    w.usize(cfg.minibatch);
-    w.u64(cfg.seed);
-    w.bool(cfg.use_predictor);
-    w.bool(cfg.use_novelty);
-    w.bool(cfg.prioritized_replay);
-    put_encoder(w, cfg.encoder);
-    put_rl(w, cfg.rl);
-    w.usize(cfg.threads);
-    w.usize(cfg.checkpoint_every);
-    match &cfg.checkpoint_path {
-        Some(p) => {
-            w.bool(true);
-            w.str(&p.display().to_string());
-        }
-        None => w.bool(false),
-    }
-    w.f64(cfg.max_wall_secs);
-    w.usize(cfg.max_downstream_evals);
-    w.usize(cfg.eval_retries);
-}
-
-fn get_config(r: &mut Reader) -> Res<FastFtConfig> {
-    Ok(FastFtConfig {
-        episodes: r.usize()?,
-        steps_per_episode: r.usize()?,
-        cold_start_episodes: r.usize()?,
-        retrain_every: r.usize()?,
-        retrain_epochs: r.usize()?,
-        alpha: r.f64()?,
-        beta: r.f64()?,
-        eps_start: r.f64()?,
-        eps_end: r.f64()?,
-        decay_m: r.f64()?,
-        memory_size: r.usize()?,
-        gamma: r.f64()?,
-        lr: r.f64()?,
-        agent_lr: r.f64()?,
-        agent_hidden: r.usize()?,
-        max_features_factor: r.f64()?,
-        max_features_cap: r.usize()?,
-        max_new_per_step: r.usize()?,
-        max_seq_len: r.usize()?,
-        cluster_threshold: r.f64()?,
-        mi_bins: r.usize()?,
-        evaluator: get_evaluator(r)?,
-        eval_cache_capacity: r.usize()?,
-        batched_scoring: r.bool()?,
-        prefix_cache_capacity: r.usize()?,
-        minibatch: r.usize()?,
-        seed: r.u64()?,
-        use_predictor: r.bool()?,
-        use_novelty: r.bool()?,
-        prioritized_replay: r.bool()?,
-        encoder: get_encoder(r)?,
-        rl: get_rl(r)?,
-        threads: r.usize()?,
-        checkpoint_every: r.usize()?,
-        checkpoint_path: if r.bool()? { Some(r.str()?.into()) } else { None },
-        max_wall_secs: r.f64()?,
-        max_downstream_evals: r.usize()?,
-        eval_retries: r.usize()?,
-    })
-}
-
-fn put_evaluator(w: &mut Writer, ev: &Evaluator) {
-    w.u8(match ev.model {
-        ModelKind::RandomForest => 0,
-        ModelKind::GradientBoosting => 1,
-        ModelKind::DecisionTree => 2,
-        ModelKind::Logistic => 3,
-        ModelKind::Ridge => 4,
-        ModelKind::LinearSvm => 5,
-        ModelKind::Knn => 6,
-    });
-    match ev.metric {
-        None => w.u8(255),
-        Some(m) => w.u8(match m {
-            Metric::F1 => 0,
-            Metric::Precision => 1,
-            Metric::Recall => 2,
-            Metric::Accuracy => 3,
-            Metric::OneMinusRae => 4,
-            Metric::OneMinusMae => 5,
-            Metric::OneMinusMse => 6,
-            Metric::Auc => 7,
-        }),
-    }
-    w.usize(ev.folds);
-    w.u64(ev.seed);
-    match ev.split_method {
-        SplitMethod::Exact => {
-            w.u8(0);
-            w.u32(0);
-        }
-        SplitMethod::Histogram { max_bins } => {
-            w.u8(1);
-            w.u32(u32::from(max_bins));
-        }
-    }
-    // `fault_plan` is a test-only hook with process-local state; it is
-    // never persisted. `FastFt::resume_with` can reattach one.
-}
-
-fn get_evaluator(r: &mut Reader) -> Res<Evaluator> {
-    let model = match r.u8()? {
-        0 => ModelKind::RandomForest,
-        1 => ModelKind::GradientBoosting,
-        2 => ModelKind::DecisionTree,
-        3 => ModelKind::Logistic,
-        4 => ModelKind::Ridge,
-        5 => ModelKind::LinearSvm,
-        6 => ModelKind::Knn,
-        t => return Err(format!("unknown model tag {t}")),
-    };
-    let metric = match r.u8()? {
-        255 => None,
-        0 => Some(Metric::F1),
-        1 => Some(Metric::Precision),
-        2 => Some(Metric::Recall),
-        3 => Some(Metric::Accuracy),
-        4 => Some(Metric::OneMinusRae),
-        5 => Some(Metric::OneMinusMae),
-        6 => Some(Metric::OneMinusMse),
-        7 => Some(Metric::Auc),
-        t => return Err(format!("unknown metric tag {t}")),
-    };
-    let folds = r.usize()?;
-    let seed = r.u64()?;
-    let split_method = match (r.u8()?, r.u32()?) {
-        (0, _) => SplitMethod::Exact,
-        (1, bins) => SplitMethod::Histogram {
-            max_bins: u16::try_from(bins).map_err(|_| format!("max_bins {bins} out of range"))?,
-        },
-        (t, _) => return Err(format!("unknown split-method tag {t}")),
-    };
-    Ok(Evaluator { model, metric, folds, seed, split_method, fault_plan: None })
-}
-
-fn put_encoder(w: &mut Writer, e: EncoderKind) {
-    match e {
-        EncoderKind::Lstm { layers } => {
-            w.u8(0);
-            w.usize(layers);
-            w.usize(0);
-        }
-        EncoderKind::Rnn { layers } => {
-            w.u8(1);
-            w.usize(layers);
-            w.usize(0);
-        }
-        EncoderKind::Gru { layers } => {
-            w.u8(2);
-            w.usize(layers);
-            w.usize(0);
-        }
-        EncoderKind::Transformer { heads, blocks } => {
-            w.u8(3);
-            w.usize(heads);
-            w.usize(blocks);
-        }
-    }
-}
-
-fn get_encoder(r: &mut Reader) -> Res<EncoderKind> {
-    let (tag, a, b) = (r.u8()?, r.usize()?, r.usize()?);
-    Ok(match tag {
-        0 => EncoderKind::Lstm { layers: a },
-        1 => EncoderKind::Rnn { layers: a },
-        2 => EncoderKind::Gru { layers: a },
-        3 => EncoderKind::Transformer { heads: a, blocks: b },
-        t => return Err(format!("unknown encoder tag {t}")),
-    })
-}
-
-fn put_rl(w: &mut Writer, rl: crate::agents::RlKind) {
-    use crate::agents::RlKind;
-    match rl {
-        RlKind::ActorCritic => {
-            w.u8(0);
-            w.u8(0);
-        }
-        RlKind::Q(q) => {
-            w.u8(1);
-            w.u8(match q {
-                QKind::Dqn => 0,
-                QKind::DoubleDqn => 1,
-                QKind::DuelingDqn => 2,
-                QKind::DuelingDoubleDqn => 3,
-            });
-        }
-    }
-}
-
-fn get_rl(r: &mut Reader) -> Res<crate::agents::RlKind> {
-    use crate::agents::RlKind;
-    let (tag, q) = (r.u8()?, r.u8()?);
-    Ok(match tag {
-        0 => RlKind::ActorCritic,
-        1 => RlKind::Q(match q {
-            0 => QKind::Dqn,
-            1 => QKind::DoubleDqn,
-            2 => QKind::DuelingDqn,
-            3 => QKind::DuelingDoubleDqn,
-            t => return Err(format!("unknown q-kind tag {t}")),
-        }),
-        t => return Err(format!("unknown rl tag {t}")),
-    })
-}
-
-fn put_net(w: &mut Writer, n: &NetState) {
-    w.vec_vec_f64(&n.params);
-    w.u64(n.opt_t);
-    w.vec_vec_f64(&n.opt_m);
-    w.vec_vec_f64(&n.opt_v);
-}
-
-fn get_net(r: &mut Reader) -> Res<NetState> {
-    Ok(NetState {
-        params: r.vec_vec_f64()?,
-        opt_t: r.u64()?,
-        opt_m: r.vec_vec_f64()?,
-        opt_v: r.vec_vec_f64()?,
-    })
-}
-
-fn put_qagent(w: &mut Writer, q: &QAgentState) {
-    put_net(w, &q.online);
-    w.vec_vec_f64(&q.target);
-    w.u64(q.updates);
-}
-
-fn get_qagent(r: &mut Reader) -> Res<QAgentState> {
-    Ok(QAgentState { online: get_net(r)?, target: r.vec_vec_f64()?, updates: r.u64()? })
-}
-
-fn put_agents(w: &mut Writer, a: &AgentsState) {
-    match a {
-        AgentsState::Ac { head, op, tail, critic } => {
-            w.u8(0);
-            put_net(w, head);
-            put_net(w, op);
-            put_net(w, tail);
-            put_net(w, critic);
-        }
-        AgentsState::Q { head, op, tail, eps_step } => {
-            w.u8(1);
-            put_qagent(w, head);
-            put_qagent(w, op);
-            put_qagent(w, tail);
-            w.u64(*eps_step);
-        }
-    }
-}
-
-fn get_agents(r: &mut Reader) -> Res<AgentsState> {
-    Ok(match r.u8()? {
-        0 => AgentsState::Ac {
-            head: get_net(r)?,
-            op: get_net(r)?,
-            tail: get_net(r)?,
-            critic: get_net(r)?,
-        },
-        1 => AgentsState::Q {
-            head: get_qagent(r)?,
-            op: get_qagent(r)?,
-            tail: get_qagent(r)?,
-            eps_step: r.u64()?,
-        },
-        t => return Err(format!("unknown agents tag {t}")),
-    })
-}
-
-fn put_decision(w: &mut Writer, d: &Decision) {
-    w.vec_vec_f64(&d.candidates);
-    w.usize(d.action);
-}
-
-fn get_decision(r: &mut Reader) -> Res<Decision> {
-    Ok(Decision { candidates: r.vec_vec_f64()?, action: r.usize()? })
-}
-
-fn put_memory_unit(w: &mut Writer, m: &MemoryUnit) {
-    w.vec_f64(&m.state);
-    w.vec_f64(&m.next_state);
-    w.f64(m.reward);
-    put_decision(w, &m.head);
-    put_decision(w, &m.op);
-    match &m.tail {
-        Some(t) => {
-            w.bool(true);
-            put_decision(w, t);
-        }
-        None => w.bool(false),
-    }
-    w.vec_vec_f64(&m.next_head_candidates);
-    w.vec_usize(&m.seq);
-    w.f64(m.perf);
-}
-
-fn get_memory_unit(r: &mut Reader) -> Res<MemoryUnit> {
-    Ok(MemoryUnit {
-        state: r.vec_f64()?,
-        next_state: r.vec_f64()?,
-        reward: r.f64()?,
-        head: get_decision(r)?,
-        op: get_decision(r)?,
-        tail: if r.bool()? { Some(get_decision(r)?) } else { None },
-        next_head_candidates: r.vec_vec_f64()?,
-        seq: r.vec_usize()?,
-        perf: r.f64()?,
-    })
-}
-
-fn put_replay(w: &mut Writer, rep: &ReplayState) {
-    match rep {
-        ReplayState::Prioritized { capacity, write, items, priorities } => {
-            w.u8(0);
-            w.usize(*capacity);
-            w.usize(*write);
-            w.usize(items.len());
-            for m in items {
-                put_memory_unit(w, m);
-            }
-            w.vec_f64(priorities);
-        }
-        ReplayState::Uniform { capacity, write, items } => {
-            w.u8(1);
-            w.usize(*capacity);
-            w.usize(*write);
-            w.usize(items.len());
-            for m in items {
-                put_memory_unit(w, m);
-            }
-        }
-    }
-}
-
-fn get_replay(r: &mut Reader) -> Res<ReplayState> {
-    let tag = r.u8()?;
-    let capacity = r.usize()?;
-    let write = r.usize()?;
-    let n = r.len()?;
-    let items: Vec<MemoryUnit> = (0..n).map(|_| get_memory_unit(r)).collect::<Res<_>>()?;
-    let rep = match tag {
-        0 => ReplayState::Prioritized { capacity, write, items, priorities: r.vec_f64()? },
-        1 => ReplayState::Uniform { capacity, write, items },
-        t => return Err(format!("unknown replay tag {t}")),
-    };
-    // Catch internal inconsistencies here so `from_parts` never panics on
-    // a corrupt file.
-    let (cap, wr, len, prios) = match &rep {
-        ReplayState::Prioritized { capacity, write, items, priorities } => {
-            (*capacity, *write, items.len(), Some(priorities.len()))
-        }
-        ReplayState::Uniform { capacity, write, items } => (*capacity, *write, items.len(), None),
-    };
-    if cap == 0 || len > cap || wr >= cap || prios.is_some_and(|p| p != len) {
-        return Err(format!("inconsistent replay buffer (capacity {cap}, write {wr}, len {len})"));
-    }
-    Ok(rep)
-}
-
-fn put_step_record(w: &mut Writer, rec: &StepRecord) {
-    w.usize(rec.episode);
-    w.usize(rec.step);
-    w.f64(rec.reward);
-    w.f64(rec.score);
-    w.bool(rec.predicted);
-    w.f64(rec.novelty);
-    w.f64(rec.novelty_distance);
-    w.bool(rec.new_combination);
-    w.usize(rec.n_features);
-    w.usize(rec.new_exprs.len());
-    for e in &rec.new_exprs {
-        w.str(e);
-    }
-}
-
-fn get_step_record(r: &mut Reader) -> Res<StepRecord> {
-    Ok(StepRecord {
-        episode: r.usize()?,
-        step: r.usize()?,
-        reward: r.f64()?,
-        score: r.f64()?,
-        predicted: r.bool()?,
-        novelty: r.f64()?,
-        novelty_distance: r.f64()?,
-        new_combination: r.bool()?,
-        n_features: r.usize()?,
-        new_exprs: {
-            let n = r.len()?;
-            (0..n).map(|_| r.str()).collect::<Res<_>>()?
-        },
-    })
-}
-
-fn put_telemetry(w: &mut Writer, t: &Telemetry) {
-    w.f64(t.optimization_secs);
-    w.f64(t.estimation_secs);
-    w.f64(t.evaluation_secs);
-    w.f64(t.total_secs);
-    w.usize(t.downstream_evals);
-    w.usize(t.predictor_calls);
-    w.usize(t.cache_hits);
-    w.usize(t.cache_evictions);
-    w.f64(t.predictor_secs);
-    w.f64(t.novelty_secs);
-    w.u64(t.prefix_hits);
-    w.u64(t.prefix_misses);
-    w.u64(t.prefix_evictions);
-    w.u64(t.score_batches);
-    for &b in &t.batch_size_hist {
-        w.u64(b);
-    }
-    w.usize(t.eval_faults);
-    w.usize(t.quarantined);
-    w.usize(t.weight_rollbacks);
-}
-
-fn get_telemetry(r: &mut Reader) -> Res<Telemetry> {
-    let mut t = Telemetry {
-        optimization_secs: r.f64()?,
-        estimation_secs: r.f64()?,
-        evaluation_secs: r.f64()?,
-        total_secs: r.f64()?,
-        downstream_evals: r.usize()?,
-        predictor_calls: r.usize()?,
-        cache_hits: r.usize()?,
-        cache_evictions: r.usize()?,
-        predictor_secs: r.f64()?,
-        novelty_secs: r.f64()?,
-        prefix_hits: r.u64()?,
-        prefix_misses: r.u64()?,
-        prefix_evictions: r.u64()?,
-        score_batches: r.u64()?,
-        ..Telemetry::default()
-    };
-    for b in &mut t.batch_size_hist {
-        *b = r.u64()?;
-    }
-    t.eval_faults = r.usize()?;
-    t.quarantined = r.usize()?;
-    t.weight_rollbacks = r.usize()?;
-    Ok(t)
-}
-
-fn put_stats(w: &mut Writer, s: &ScoreStats) {
-    w.u64(s.prefix_hits);
-    w.u64(s.prefix_misses);
-    w.u64(s.evictions);
-    w.u64(s.batches);
-    for &b in &s.batch_hist {
-        w.u64(b);
-    }
-}
-
-fn get_stats(r: &mut Reader) -> Res<ScoreStats> {
-    let mut s = ScoreStats {
-        prefix_hits: r.u64()?,
-        prefix_misses: r.u64()?,
-        evictions: r.u64()?,
-        batches: r.u64()?,
-        batch_hist: [0; BATCH_HIST_BUCKETS],
-    };
-    for b in &mut s.batch_hist {
-        *b = r.u64()?;
-    }
-    Ok(s)
-}
-
-fn put_snapshot(w: &mut Writer, s: &Snapshot) {
-    w.u64(s.data_fingerprint);
-    w.usize(s.next_episode);
-    w.usize(s.global_step);
-    w.f64(s.base_score);
-    w.f64(s.best_score);
-    w.usize(s.best_exprs.len());
-    for e in &s.best_exprs {
-        w.str(e);
-    }
-    w.vec_vec_f64(&s.best_columns);
-    w.usize(s.records.len());
-    for rec in &s.records {
-        put_step_record(w, rec);
-    }
-    w.vec_f64(&s.episode_best);
-    put_telemetry(w, &s.telemetry);
-    for &x in &s.rng {
-        w.u64(x);
-    }
-    put_agents(w, &s.agents);
-    put_net(w, &s.predictor);
-    put_net(w, &s.novelty);
-    put_replay(w, &s.replay);
-    w.vec_vec_f64(&s.tracker_history);
-    w.usize(s.tracker_seen.len());
-    for k in &s.tracker_seen {
-        w.str(k);
-    }
-    w.usize(s.eval_cache.len());
-    for (k, v) in &s.eval_cache {
-        w.str(k);
-        w.f64(*v);
-    }
-    w.usize(s.eval_history.len());
-    for (seq, v) in &s.eval_history {
-        w.vec_usize(seq);
-        w.f64(*v);
-    }
-    w.vec_f64(&s.pred_history);
-    w.vec_f64(&s.nov_history);
-    w.usize(s.nov_count);
-    w.f64(s.nov_mean);
-    w.f64(s.nov_m2);
-    put_stats(w, &s.stats_baseline);
-    w.usize(s.quarantine.len());
-    for k in &s.quarantine {
-        w.str(k);
-    }
-}
-
-fn get_snapshot(r: &mut Reader) -> Res<Snapshot> {
-    Ok(Snapshot {
-        data_fingerprint: r.u64()?,
-        next_episode: r.usize()?,
-        global_step: r.usize()?,
-        base_score: r.f64()?,
-        best_score: r.f64()?,
-        best_exprs: {
-            let n = r.len()?;
-            (0..n).map(|_| r.str()).collect::<Res<_>>()?
-        },
-        best_columns: r.vec_vec_f64()?,
-        records: {
-            let n = r.len()?;
-            (0..n).map(|_| get_step_record(r)).collect::<Res<_>>()?
-        },
-        episode_best: r.vec_f64()?,
-        telemetry: get_telemetry(r)?,
-        rng: {
-            let mut s = [0u64; 4];
-            for x in &mut s {
-                *x = r.u64()?;
-            }
-            s
-        },
-        agents: get_agents(r)?,
-        predictor: get_net(r)?,
-        novelty: get_net(r)?,
-        replay: get_replay(r)?,
-        tracker_history: r.vec_vec_f64()?,
-        tracker_seen: {
-            let n = r.len()?;
-            (0..n).map(|_| r.str()).collect::<Res<_>>()?
-        },
-        eval_cache: {
-            let n = r.len()?;
-            (0..n).map(|_| Ok((r.str()?, r.f64()?))).collect::<Res<_>>()?
-        },
-        eval_history: {
-            let n = r.len()?;
-            (0..n).map(|_| Ok((r.vec_usize()?, r.f64()?))).collect::<Res<_>>()?
-        },
-        pred_history: r.vec_f64()?,
-        nov_history: r.vec_f64()?,
-        nov_count: r.usize()?,
-        nov_mean: r.f64()?,
-        nov_m2: r.f64()?,
-        stats_baseline: get_stats(r)?,
-        quarantine: {
-            let n = r.len()?;
-            (0..n).map(|_| r.str()).collect::<Res<_>>()?
-        },
-    })
-}
-
-// ---------------------------------------------------------------------------
 // Public file API
 // ---------------------------------------------------------------------------
 
 /// Serialise a configuration + snapshot to the versioned binary format.
 pub fn encode(cfg: &FastFtConfig, snap: &Snapshot) -> Vec<u8> {
-    let mut w = Writer::default();
-    w.buf.extend_from_slice(&MAGIC);
+    let mut w = Writer::new();
+    w.raw(&MAGIC);
     w.u32(VERSION);
-    put_config(&mut w, cfg);
-    put_snapshot(&mut w, snap);
-    w.buf
+    cfg.persist(&mut w);
+    snap.persist(&mut w);
+    w.into_bytes()
 }
 
 /// Parse bytes produced by [`encode`], verifying magic and version.
 pub fn decode(bytes: &[u8]) -> FastFtResult<(FastFtConfig, Snapshot)> {
     let mut r = Reader::new(bytes);
-    let run = |r: &mut Reader| -> Res<(FastFtConfig, Snapshot)> {
+    let run = |r: &mut Reader| -> PersistResult<(FastFtConfig, Snapshot)> {
         let magic = r.take(MAGIC.len())?;
         if magic != MAGIC {
             return Err("not a FASTFT checkpoint (bad magic)".into());
@@ -947,10 +270,10 @@ pub fn decode(bytes: &[u8]) -> FastFtResult<(FastFtConfig, Snapshot)> {
         if version != VERSION {
             return Err(format!("unsupported checkpoint version {version} (expected {VERSION})"));
         }
-        let cfg = get_config(r)?;
-        let snap = get_snapshot(r)?;
-        if r.pos != r.buf.len() {
-            return Err(format!("{} trailing bytes after snapshot", r.buf.len() - r.pos));
+        let cfg = FastFtConfig::restore(r)?;
+        let snap = Snapshot::restore(r)?;
+        if !r.is_exhausted() {
+            return Err(format!("{} trailing bytes after snapshot", r.remaining()));
         }
         Ok((cfg, snap))
     };
@@ -978,7 +301,12 @@ pub fn read(path: &Path) -> FastFtResult<(FastFtConfig, Snapshot)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agents::Decision;
     use crate::state::{CLUSTER_REP_DIM, HEAD_DIM, OP_DIM};
+    use fastft_ml::SplitMethod;
+    use fastft_nn::EncoderKind;
+    use fastft_rl::{QAgentState, QKind};
+    use fastft_tabular::metrics::Metric;
 
     fn sample_net() -> NetState {
         NetState {
@@ -1153,6 +481,16 @@ mod tests {
         assert_eq!(cfg2.checkpoint_path.as_deref(), Some(std::path::Path::new("x.ckpt")));
         assert_eq!(snap2.agents, snap.agents);
         assert_eq!(snap2.replay, snap.replay);
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_replay_buffer() {
+        let cfg = FastFtConfig::quick();
+        let mut snap = sample_snapshot();
+        // Write cursor beyond capacity is impossible in a live buffer.
+        snap.replay = ReplayState::Uniform { capacity: 4, write: 9, items: vec![] };
+        let err = decode(&encode(&cfg, &snap)).unwrap_err();
+        assert!(err.to_string().contains("replay"), "{err}");
     }
 
     #[test]

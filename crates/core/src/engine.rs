@@ -1,5 +1,5 @@
-//! The FASTFT engine: cold start (Algorithm 1) and effective exploration
-//! with continual training (Algorithm 2).
+//! The FASTFT engine façade: cold start (Algorithm 1) and effective
+//! exploration with continual training (Algorithm 2).
 //!
 //! One [`FastFt::fit`] call runs the full pipeline on a dataset:
 //!
@@ -13,185 +13,28 @@
 //!    top-α-percentile predicted performance or top-β-percentile novelty.
 //!    Critical memories replay by TD-error priority (Eq. 10), and the
 //!    components fine-tune every `retrain_every` episodes.
+//!
+//! The run loop itself lives in [`crate::pipeline`]: a staged
+//! [`Driver`](crate::pipeline::Driver) composing
+//! [`CandidateSource`](crate::pipeline::CandidateSource),
+//! [`RewardModel`](crate::pipeline::RewardModel) and
+//! [`Learner`](crate::pipeline::Learner) stages over a single
+//! [`SearchState`](crate::pipeline::SearchState). [`FastFt`] is a thin
+//! façade over [`Session`](crate::pipeline::Session) that keeps the
+//! original one-call API.
 
-use crate::agents::{CascadingAgents, Decision, MemoryUnit, Role};
 use crate::checkpoint;
-use crate::cluster::{cluster_features, MiCache};
 use crate::config::FastFtConfig;
 use crate::expr::Expr;
-use crate::lru::LruCache;
-use crate::novelty::NoveltyEstimator;
-use crate::novelty_metric::NoveltyTracker;
-use crate::ops::Op;
 use crate::parse::parse_expr;
-use crate::predictor::{PerformancePredictor, PredictorConfig};
-use crate::scoring::{ScoreStats, BATCH_HIST_BUCKETS};
-use crate::sequence::{canonical_key, encode_feature_set, TokenVocab};
-use crate::state;
+use crate::pipeline::{Driver, NullObserver, Session};
 use crate::transform::FeatureSet;
-use fastft_rl::schedule::ExpDecay;
-use fastft_rl::{PrioritizedReplay, UniformReplay};
-use fastft_runtime::Runtime;
-use fastft_tabular::rngx;
-use fastft_tabular::rngx::StdRng;
 use fastft_tabular::{Column, Dataset};
 use fastft_tabular::{FastFtError, FastFtResult};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::Instant;
 
-/// Per-step trace of a run (Figs. 14–15, debugging, case studies).
-#[derive(Debug, Clone, PartialEq)]
-pub struct StepRecord {
-    /// Episode index.
-    pub episode: usize,
-    /// Step within the episode.
-    pub step: usize,
-    /// Reward fed to the agents.
-    pub reward: f64,
-    /// Performance associated with the step (predicted or evaluated).
-    pub score: f64,
-    /// Whether `score` came from the predictor rather than a downstream run.
-    pub predicted: bool,
-    /// RND novelty of the step's sequence (0 when the estimator is off).
-    pub novelty: f64,
-    /// §VI-H novelty distance of the feature-set embedding.
-    pub novelty_distance: f64,
-    /// Whether the feature combination was never generated before.
-    pub new_combination: bool,
-    /// Feature count after the step.
-    pub n_features: usize,
-    /// Traceable expressions added this step.
-    pub new_exprs: Vec<String>,
-}
-
-/// Wall-clock decomposition matching Table II's rows.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Telemetry {
-    /// Agent/critic updates ("Optimization").
-    pub optimization_secs: f64,
-    /// Predictor/estimator forward passes and training ("Estimation").
-    pub estimation_secs: f64,
-    /// Downstream-task evaluations ("Evaluation").
-    pub evaluation_secs: f64,
-    /// Whole `fit` duration ("Overall").
-    pub total_secs: f64,
-    /// Number of downstream evaluations performed.
-    pub downstream_evals: usize,
-    /// Number of predictor/estimator inference calls.
-    pub predictor_calls: usize,
-    /// Downstream evaluations answered from the canonical-key memo cache
-    /// instead of re-running cross-validation.
-    pub cache_hits: usize,
-    /// Memo-cache entries evicted to respect
-    /// [`FastFtConfig::eval_cache_capacity`].
-    pub cache_evictions: usize,
-    /// Wall time inside Performance-Predictor inference (subset of
-    /// `estimation_secs`).
-    pub predictor_secs: f64,
-    /// Wall time inside Novelty-Estimator inference (subset of
-    /// `estimation_secs`).
-    pub novelty_secs: f64,
-    /// Scoring calls answered from a cached encoder prefix state.
-    pub prefix_hits: u64,
-    /// Scoring calls that encoded their sequence from scratch.
-    pub prefix_misses: u64,
-    /// Prefix-cache states evicted to respect
-    /// [`FastFtConfig::prefix_cache_capacity`].
-    pub prefix_evictions: u64,
-    /// Batched scoring calls issued by the step loop.
-    pub score_batches: u64,
-    /// Histogram of scoring batch sizes (bucket `i` = size `i + 1`, last
-    /// bucket = `≥ 8`).
-    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
-    /// Downstream evaluations that faulted — panicked, returned a typed
-    /// evaluation error, or produced a non-finite score — counting retries.
-    pub eval_faults: usize,
-    /// Candidates quarantined after exhausting
-    /// [`FastFtConfig::eval_retries`] attempts.
-    pub quarantined: usize,
-    /// Component-training rounds rolled back because they panicked or left
-    /// non-finite weights (one count per rolled-back component).
-    pub weight_rollbacks: usize,
-}
-
-/// Why a run returned (all variants return the best-so-far result).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopReason {
-    /// All configured episodes ran.
-    Completed,
-    /// [`FastFtConfig::max_wall_secs`] was exhausted at a step boundary.
-    WallClock,
-    /// [`FastFtConfig::max_downstream_evals`] was exhausted at a step
-    /// boundary.
-    EvalBudget,
-}
-
-impl std::fmt::Display for StopReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            StopReason::Completed => "completed",
-            StopReason::WallClock => "wall-clock budget",
-            StopReason::EvalBudget => "evaluation budget",
-        })
-    }
-}
-
-/// Result of a FASTFT run.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Downstream score of the original feature set.
-    pub base_score: f64,
-    /// Best downstream-evaluated score found.
-    pub best_score: f64,
-    /// The dataset achieving `best_score`.
-    pub best_dataset: Dataset,
-    /// Traceable expressions of the best feature set.
-    pub best_exprs: Vec<Expr>,
-    /// Per-step trace.
-    pub records: Vec<StepRecord>,
-    /// Best-so-far downstream score after each episode (Fig. 7 curves).
-    pub episode_best: Vec<f64>,
-    /// Timing decomposition (Table II).
-    pub telemetry: Telemetry,
-    /// Why the run returned (completed, or which budget stopped it).
-    pub stop_reason: StopReason,
-}
-
-enum Memory {
-    Prioritized(PrioritizedReplay<MemoryUnit>),
-    Uniform(UniformReplay<MemoryUnit>),
-}
-
-impl Memory {
-    fn push(&mut self, mem: MemoryUnit, delta: f64) {
-        match self {
-            Memory::Prioritized(b) => b.push(mem, delta),
-            Memory::Uniform(b) => b.push(mem),
-        }
-    }
-
-    fn sample<'a>(&'a self, rng: &mut StdRng) -> Option<&'a MemoryUnit> {
-        match self {
-            Memory::Prioritized(b) => b.sample(rng),
-            Memory::Uniform(b) => b.sample(rng),
-        }
-    }
-
-    fn sample_uniform<'a>(&'a self, rng: &mut StdRng) -> Option<&'a MemoryUnit> {
-        match self {
-            Memory::Prioritized(b) => b.sample_uniform(rng),
-            Memory::Uniform(b) => b.sample(rng),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Memory::Prioritized(b) => b.len(),
-            Memory::Uniform(b) => b.len(),
-        }
-    }
-}
+pub use crate::pipeline::{RunResult, StepRecord, StopReason, Telemetry};
 
 /// The FASTFT framework.
 #[derive(Debug, Clone)]
@@ -209,6 +52,10 @@ impl FastFt {
     /// Run the full pipeline on `data` and return the best transformed
     /// dataset found, with traces and timing.
     ///
+    /// Equivalent to a one-dataset [`Session`](crate::pipeline::Session);
+    /// use a `Session` directly to run several datasets over one shared
+    /// worker pool.
+    ///
     /// # Errors
     ///
     /// Returns [`FastFtError::InvalidConfig`] if the configuration fails
@@ -219,9 +66,7 @@ impl FastFt {
     /// Candidate evaluations that fail mid-run are fault-isolated and
     /// quarantined instead of aborting the run.
     pub fn fit(&self, data: &Dataset) -> FastFtResult<RunResult> {
-        self.cfg.validate()?;
-        validate_data(data)?;
-        Run::new(&self.cfg, data).execute()
+        Session::new(self.cfg.clone())?.run(data)
     }
 
     /// Continue a run from a checkpoint written via
@@ -267,9 +112,11 @@ impl FastFt {
             )));
         }
         let best_fs = restore_feature_set(data, &snap)?;
-        let mut run = Run::new(&cfg, data);
-        run.restore(&snap)?;
-        run.execute_from(
+        let session = Session::new(cfg)?;
+        let mut driver = Driver::new(session.cfg(), data, session.runtime());
+        driver.state.restore(&snap, session.cfg())?;
+        driver.execute_from(
+            &mut NullObserver,
             Instant::now(),
             snap.next_episode,
             snap.base_score,
@@ -284,7 +131,7 @@ impl FastFt {
 /// Degenerate-input guards shared by [`FastFt::fit`] and
 /// [`FastFt::resume`]: inputs that would otherwise surface as panics or
 /// NaN scores deep inside a run are rejected up front with a typed error.
-fn validate_data(data: &Dataset) -> FastFtResult<()> {
+pub(crate) fn validate_data(data: &Dataset) -> FastFtResult<()> {
     if data.n_features() == 0 {
         return Err(FastFtError::InvalidData(format!(
             "dataset '{}' has no feature columns",
@@ -334,766 +181,12 @@ fn restore_feature_set(data: &Dataset, snap: &checkpoint::Snapshot) -> FastFtRes
     Ok(fs)
 }
 
-/// Percentile of a sample (linear interpolation, q in `[0,1]`).
-fn percentile(values: &[f64], q: f64) -> f64 {
-    assert!(!values.is_empty());
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    fastft_tabular::stats::percentile_sorted(&sorted, q)
-}
-
-/// Cap on the quarantine set: plenty for any realistic fault pattern,
-/// while bounding memory if a dataset makes *every* candidate fault.
-const QUARANTINE_CAPACITY: usize = 256;
-
-struct Run<'a> {
-    cfg: &'a FastFtConfig,
-    original: &'a Dataset,
-    vocab: TokenVocab,
-    agents: CascadingAgents,
-    predictor: PerformancePredictor,
-    novelty: NoveltyEstimator,
-    memory: Memory,
-    tracker: NoveltyTracker,
-    rng: StdRng,
-    runtime: Runtime,
-    telemetry: Telemetry,
-    // Memoised downstream scores keyed by the canonical (order-invariant)
-    // feature-set key: revisiting a feature combination never pays for
-    // cross-validation twice within a run. Capacity-capped LRU so long
-    // runs cannot grow it without limit (`cfg.eval_cache_capacity`).
-    eval_cache: LruCache<String, f64>,
-    // Downstream-evaluated (sequence, score) pairs for component training.
-    eval_history: Vec<(Vec<usize>, f64)>,
-    // Rolling histories for the α/β percentile triggers.
-    pred_history: Vec<f64>,
-    nov_history: Vec<f64>,
-    // Welford running stats of raw novelty, for intrinsic-reward
-    // normalisation (standard RND practice; DESIGN.md §4).
-    nov_count: usize,
-    nov_mean: f64,
-    nov_m2: f64,
-    global_step: usize,
-    // Prefix-cache/batching counters accumulated before the last resume:
-    // the caches themselves restart cold, so end-of-run telemetry is this
-    // baseline merged with the fresh caches' counters.
-    stats_baseline: ScoreStats,
-    // Canonical keys of candidates whose downstream evaluation kept
-    // faulting. LRU-bounded so pathological data cannot grow it without
-    // limit; quarantined candidates are scored by the predictor instead.
-    quarantine: LruCache<String, ()>,
-}
-
-impl<'a> Run<'a> {
-    fn new(cfg: &'a FastFtConfig, data: &'a Dataset) -> Self {
-        let vocab = TokenVocab::new(data.n_features());
-        let pc = PredictorConfig {
-            dim: 32,
-            encoder: cfg.encoder,
-            lr: cfg.lr,
-            prefix_cache: cfg.prefix_cache_capacity,
-        };
-        let mut agents = CascadingAgents::new(cfg.rl, cfg.agent_hidden, cfg.agent_lr, cfg.seed);
-        agents.gamma = cfg.gamma;
-        let memory = if cfg.prioritized_replay {
-            Memory::Prioritized(PrioritizedReplay::new(cfg.memory_size))
-        } else {
-            Memory::Uniform(UniformReplay::new(cfg.memory_size))
-        };
-        let runtime =
-            if cfg.threads == 0 { Runtime::from_env() } else { Runtime::new(cfg.threads) };
-        Run {
-            cfg,
-            original: data,
-            vocab,
-            agents,
-            predictor: PerformancePredictor::new(vocab.size(), pc, cfg.seed.wrapping_add(11)),
-            novelty: NoveltyEstimator::new(vocab.size(), pc, cfg.seed.wrapping_add(23)),
-            memory,
-            tracker: NoveltyTracker::new(),
-            rng: rngx::rng(cfg.seed.wrapping_add(37)),
-            runtime,
-            telemetry: Telemetry::default(),
-            eval_cache: LruCache::new(cfg.eval_cache_capacity),
-            eval_history: Vec::new(),
-            pred_history: Vec::new(),
-            nov_history: Vec::new(),
-            nov_count: 0,
-            nov_mean: 0.0,
-            nov_m2: 0.0,
-            global_step: 0,
-            stats_baseline: ScoreStats::default(),
-            quarantine: LruCache::new(QUARANTINE_CAPACITY),
-        }
-    }
-
-    /// Evaluate `data` downstream, memoised on the canonical feature-set
-    /// key when one is supplied. Cache hits return the stored score without
-    /// re-running cross-validation (and count as `cache_hits`, not
-    /// `downstream_evals`); `None` bypasses the cache entirely.
-    fn evaluate_downstream(&mut self, data: &Dataset, key: Option<&str>) -> FastFtResult<f64> {
-        if let Some(k) = key {
-            if let Some(&score) = self.eval_cache.get(k) {
-                self.telemetry.cache_hits += 1;
-                return Ok(score);
-            }
-        }
-        let t0 = Instant::now();
-        let score = self.cfg.evaluator.evaluate_with(&self.runtime, data)?;
-        self.telemetry.evaluation_secs += t0.elapsed().as_secs_f64();
-        self.telemetry.downstream_evals += 1;
-        if let Some(k) = key {
-            if self.eval_cache.insert(k.to_owned(), score) {
-                self.telemetry.cache_evictions += 1;
-            }
-        }
-        Ok(score)
-    }
-
-    /// Fault-isolated downstream evaluation of a candidate feature set.
-    ///
-    /// Panics inside the evaluator, typed evaluation errors and non-finite
-    /// scores all count as faults (`eval_faults`): the evaluation retries
-    /// up to [`FastFtConfig::eval_retries`] more times and then the
-    /// candidate is quarantined (`None`), leaving the step loop to fall
-    /// back on the predictor. Quarantine shares the memo cache's canonical
-    /// key, so a quarantined feature combination is never re-attempted
-    /// while it remains in the bounded set. The *base* evaluation does not
-    /// go through here — a dataset whose original features cannot be
-    /// scored is a configuration problem and propagates as a typed error.
-    fn evaluate_candidate(&mut self, data: &Dataset, key: &str) -> Option<f64> {
-        if self.quarantine.get(key).is_some() {
-            return None;
-        }
-        if let Some(&score) = self.eval_cache.get(key) {
-            self.telemetry.cache_hits += 1;
-            return Some(score);
-        }
-        for _attempt in 0..=self.cfg.eval_retries {
-            let t0 = Instant::now();
-            let evaluator = &self.cfg.evaluator;
-            let runtime = &self.runtime;
-            let outcome = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate_with(runtime, data)));
-            self.telemetry.evaluation_secs += t0.elapsed().as_secs_f64();
-            self.telemetry.downstream_evals += 1;
-            match outcome {
-                Ok(Ok(score)) if score.is_finite() => {
-                    if self.eval_cache.insert(key.to_owned(), score) {
-                        self.telemetry.cache_evictions += 1;
-                    }
-                    return Some(score);
-                }
-                // Panic, typed evaluation error or non-finite score: count
-                // the fault and retry.
-                _ => self.telemetry.eval_faults += 1,
-            }
-        }
-        self.telemetry.quarantined += 1;
-        self.quarantine.insert(key.to_owned(), ());
-        None
-    }
-
-    /// Predictor-only score for a quarantined candidate, so the episode
-    /// keeps moving with a finite reward.
-    fn predict_fallback(&mut self, seq: &[usize]) -> f64 {
-        let t0 = Instant::now();
-        let pred = if self.cfg.batched_scoring {
-            self.predictor.predict_cached(seq)
-        } else {
-            self.predictor.predict(seq)
-        };
-        let elapsed = t0.elapsed().as_secs_f64();
-        self.telemetry.predictor_secs += elapsed;
-        self.telemetry.estimation_secs += elapsed;
-        self.telemetry.predictor_calls += 1;
-        pred
-    }
-
-    /// Which run budget, if any, is exhausted at this step boundary. Pure
-    /// bookkeeping — no RNG is consumed — so a budget-stopped run stays on
-    /// the same decision stream as an uninterrupted one up to the stop.
-    fn budget_reason(&self, t_start: Instant, prior_secs: f64) -> Option<StopReason> {
-        if self.cfg.max_downstream_evals > 0
-            && self.telemetry.downstream_evals >= self.cfg.max_downstream_evals
-        {
-            return Some(StopReason::EvalBudget);
-        }
-        if self.cfg.max_wall_secs > 0.0
-            && prior_secs + t_start.elapsed().as_secs_f64() >= self.cfg.max_wall_secs
-        {
-            return Some(StopReason::WallClock);
-        }
-        None
-    }
-
-    /// Should this (predicted performance, novelty) pair trigger a real
-    /// downstream evaluation? (§III-D "Adaptively Adopt Two Strategies".)
-    fn trigger_downstream(&self, pred: f64, nov: f64) -> bool {
-        // Until enough history exists the percentiles are meaningless;
-        // anchor with real evaluations.
-        const WARMUP: usize = 8;
-        if self.pred_history.len() < WARMUP {
-            return self.cfg.alpha > 0.0 || self.cfg.beta > 0.0;
-        }
-        // Strict inequality: sequences are often scored identically early
-        // on, and `>=` against a tied percentile would fire on every step.
-        let by_perf = self.cfg.alpha > 0.0
-            && pred > percentile(&self.pred_history, 1.0 - self.cfg.alpha / 100.0);
-        let by_nov = self.cfg.use_novelty
-            && self.cfg.beta > 0.0
-            && nov > percentile(&self.nov_history, 1.0 - self.cfg.beta / 100.0);
-        by_perf || by_nov
-    }
-
-    /// Normalise a raw RND novelty into a differential bonus: the running
-    /// z-score, clamped to ±3. This keeps Eq. 6's novelty term on the same
-    /// scale as performance differences regardless of the frozen target's
-    /// output magnitude, and — unlike a raw magnitude — rewards *relative*
-    /// novelty: above-average novelty earns a positive bonus, familiar
-    /// territory a negative one (standard intrinsic-reward normalisation in
-    /// the RND literature; DESIGN.md §4).
-    fn normalize_novelty(&mut self, nov: f64) -> f64 {
-        self.nov_count += 1;
-        let delta = nov - self.nov_mean;
-        self.nov_mean += delta / self.nov_count as f64;
-        self.nov_m2 += delta * (nov - self.nov_mean);
-        if self.nov_count < 5 {
-            return 0.0;
-        }
-        let std = (self.nov_m2 / (self.nov_count - 1) as f64).sqrt();
-        ((nov - self.nov_mean) / (std + 1e-8)).clamp(-3.0, 3.0)
-    }
-
-    fn execute(mut self) -> FastFtResult<RunResult> {
-        let t_start = Instant::now();
-        let base_fs = FeatureSet::from_original(self.original);
-        let base_key = canonical_key(&base_fs.exprs);
-        let base_score = self.evaluate_downstream(self.original, Some(&base_key))?;
-        self.execute_from(t_start, 0, base_score, base_score, base_fs, Vec::new(), Vec::new())
-    }
-
-    /// The episode loop, entered at `start_episode` — 0 for a fresh run,
-    /// the checkpointed boundary for a resumed one. All best-so-far state
-    /// arrives as arguments so both paths share one code path (and one
-    /// decision stream).
-    #[allow(clippy::too_many_arguments)]
-    fn execute_from(
-        mut self,
-        t_start: Instant,
-        start_episode: usize,
-        base_score: f64,
-        mut best_score: f64,
-        mut best_fs: FeatureSet,
-        mut records: Vec<StepRecord>,
-        mut episode_best: Vec<f64>,
-    ) -> FastFtResult<RunResult> {
-        // Wall time accumulated before a resume; 0 for a fresh run.
-        let prior_secs = self.telemetry.total_secs;
-        let novelty_weight =
-            ExpDecay { start: self.cfg.eps_start, end: self.cfg.eps_end, m: self.cfg.decay_m };
-        let max_features = self.cfg.max_features(self.original.n_features());
-        let mut stop = StopReason::Completed;
-
-        'episodes: for episode in start_episode..self.cfg.episodes {
-            let cold = episode < self.cfg.cold_start_episodes || !self.cfg.use_predictor;
-            let mut fs = FeatureSet::from_original(self.original);
-            let mut prev_v = base_score;
-            let mut prev_seq = encode_feature_set(&fs.exprs, &self.vocab, self.cfg.max_seq_len);
-            let mut prev_state = state::rep_overall(&fs.data);
-            // Pending memory from the previous step, waiting for its
-            // next-step head candidates before insertion.
-            let mut pending: Option<MemoryUnit> = None;
-
-            for step in 0..self.cfg.steps_per_episode {
-                if let Some(reason) = self.budget_reason(t_start, prior_secs) {
-                    stop = reason;
-                    break 'episodes;
-                }
-                self.global_step += 1;
-                // --- agent decisions -----------------------------------
-                let t_opt = Instant::now();
-                let cache = MiCache::compute_with(&self.runtime, &fs.data, self.cfg.mi_bins);
-                let clusters = cluster_features(&fs.data, &cache, self.cfg.cluster_threshold, 2);
-                let overall = prev_state.clone();
-                let cluster_reps: Vec<Vec<f64>> =
-                    clusters.iter().map(|c| state::rep_cluster(&fs.data, c)).collect();
-                let head_cands: Vec<Vec<f64>> =
-                    cluster_reps.iter().map(|cr| state::head_candidate(cr, &overall)).collect();
-                // Complete the previous step's memory with this step's head
-                // candidates, then insert and learn.
-                if let Some(mut mem) = pending.take() {
-                    mem.next_head_candidates = head_cands.clone();
-                    self.store_and_learn(mem);
-                }
-                let head_idx = self.agents.select(Role::Head, &head_cands, &mut self.rng);
-                let head_rep = &cluster_reps[head_idx];
-                let op_cands: Vec<Vec<f64>> =
-                    Op::ALL.iter().map(|&op| state::op_candidate(head_rep, &overall, op)).collect();
-                let op_idx = self.agents.select(Role::Op, &op_cands, &mut self.rng);
-                let op = Op::ALL[op_idx];
-                let tail_choice = if op.is_binary() {
-                    let tail_cands: Vec<Vec<f64>> = cluster_reps
-                        .iter()
-                        .map(|cr| state::tail_candidate(head_rep, &overall, op, cr))
-                        .collect();
-                    let tail_idx = self.agents.select(Role::Tail, &tail_cands, &mut self.rng);
-                    Some((tail_cands, tail_idx))
-                } else {
-                    None
-                };
-                self.telemetry.optimization_secs += t_opt.elapsed().as_secs_f64();
-
-                // --- group-wise crossing -------------------------------
-                let tail_members = tail_choice.as_ref().map(|(_, i)| clusters[*i].as_slice());
-                let generated = fs.cross(
-                    &clusters[head_idx],
-                    op,
-                    tail_members,
-                    self.cfg.max_new_per_step,
-                    &mut self.rng,
-                );
-                let new_exprs: Vec<String> = generated.iter().map(|(e, _)| e.to_string()).collect();
-                let produced = !generated.is_empty();
-                fs.extend(generated);
-                fs.select_top(max_features, self.cfg.mi_bins);
-
-                let seq = encode_feature_set(&fs.exprs, &self.vocab, self.cfg.max_seq_len);
-                let next_state = state::rep_overall(&fs.data);
-                let key = canonical_key(&fs.exprs);
-                let (nov_dist, new_comb) = self.tracker.observe(next_state.clone(), &key);
-
-                // --- scoring and reward --------------------------------
-                let (v, reward, predicted, nov) = if cold {
-                    // Fault-isolated real evaluation; a quarantined
-                    // candidate falls back to the predictor (`predicted`
-                    // keeps it out of best tracking and training history).
-                    let (v, predicted) = match self.evaluate_candidate(&fs.data, &key) {
-                        Some(v) => {
-                            self.eval_history.push((seq.clone(), v));
-                            (v, false)
-                        }
-                        None => (self.predict_fallback(&seq), true),
-                    };
-                    // Eq. 5 (plus the novelty bonus when the estimator is
-                    // active and trained; during true cold start the
-                    // estimator is untrained, so only the −PP path adds it).
-                    let mut r = v - prev_v;
-                    let mut nov = 0.0;
-                    if self.cfg.use_novelty && episode >= self.cfg.cold_start_episodes {
-                        let t_est = Instant::now();
-                        nov = if self.cfg.batched_scoring {
-                            self.novelty.novelty_cached(&seq)
-                        } else {
-                            self.novelty.novelty(&seq)
-                        };
-                        let elapsed = t_est.elapsed().as_secs_f64();
-                        self.telemetry.novelty_secs += elapsed;
-                        self.telemetry.estimation_secs += elapsed;
-                        self.telemetry.predictor_calls += 1;
-                        let normed = self.normalize_novelty(nov);
-                        r += novelty_weight.at(self.global_step) * normed;
-                        self.nov_history.push(nov);
-                    }
-                    (v, r, predicted, nov)
-                } else {
-                    // Batched scoring runs the same fused kernels in the
-                    // same summation order as the per-sequence path, so both
-                    // branches are bitwise identical
-                    // (`batched_scoring_matches_unbatched`).
-                    let t_pred = Instant::now();
-                    let (pred, pred_prev) = if self.cfg.batched_scoring {
-                        let mut out = [0.0; 2];
-                        self.predictor.predict_batch(&[&seq, &prev_seq], &mut out);
-                        (out[0], out[1])
-                    } else {
-                        (self.predictor.predict(&seq), self.predictor.predict(&prev_seq))
-                    };
-                    let pred_elapsed = t_pred.elapsed().as_secs_f64();
-                    self.telemetry.predictor_secs += pred_elapsed;
-                    let t_nov = Instant::now();
-                    let nov = if !self.cfg.use_novelty {
-                        0.0
-                    } else if self.cfg.batched_scoring {
-                        self.novelty.novelty_cached(&seq)
-                    } else {
-                        self.novelty.novelty(&seq)
-                    };
-                    let nov_elapsed = t_nov.elapsed().as_secs_f64();
-                    self.telemetry.novelty_secs += nov_elapsed;
-                    self.telemetry.estimation_secs += pred_elapsed + nov_elapsed;
-                    self.telemetry.predictor_calls += 2;
-                    // Eq. 6, with the novelty bonus std-normalised so the
-                    // two terms share a scale.
-                    let mut r = pred - pred_prev;
-                    if self.cfg.use_novelty {
-                        let normed = self.normalize_novelty(nov);
-                        r += novelty_weight.at(self.global_step) * normed;
-                        self.nov_history.push(nov);
-                    }
-                    let trigger = self.trigger_downstream(pred, nov);
-                    self.pred_history.push(pred);
-                    if trigger {
-                        // Fault-isolated: a quarantined candidate falls
-                        // back to its already-computed prediction.
-                        match self.evaluate_candidate(&fs.data, &key) {
-                            Some(v) => {
-                                self.eval_history.push((seq.clone(), v));
-                                (v, r, false, nov)
-                            }
-                            None => (pred, r, true, nov),
-                        }
-                    } else {
-                        (pred, r, true, nov)
-                    }
-                };
-                let reward = if produced { reward } else { reward - 0.05 };
-
-                // Best tracking: only real downstream evaluations count.
-                if !predicted && v > best_score {
-                    best_score = v;
-                    best_fs = fs.clone();
-                }
-
-                // --- memory --------------------------------------------
-                let mem = MemoryUnit {
-                    state: prev_state.clone(),
-                    next_state: next_state.clone(),
-                    reward,
-                    head: Decision { candidates: head_cands, action: head_idx },
-                    op: Decision { candidates: op_cands, action: op_idx },
-                    tail: tail_choice
-                        .map(|(cands, idx)| Decision { candidates: cands, action: idx }),
-                    next_head_candidates: Vec::new(),
-                    seq: seq.clone(),
-                    perf: v,
-                };
-                pending = Some(mem);
-
-                records.push(StepRecord {
-                    episode,
-                    step,
-                    reward,
-                    score: v,
-                    predicted,
-                    novelty: nov,
-                    novelty_distance: nov_dist,
-                    new_combination: new_comb,
-                    n_features: fs.n_features(),
-                    new_exprs,
-                });
-
-                prev_v = v;
-                prev_seq = seq;
-                prev_state = next_state;
-            }
-            // Episode end: flush the pending memory (terminal transition).
-            if let Some(mem) = pending.take() {
-                self.store_and_learn(mem);
-            }
-
-            // --- component training -------------------------------------
-            let cold_start_end = episode + 1 == self.cfg.cold_start_episodes;
-            let retrain_due = episode + 1 > self.cfg.cold_start_episodes
-                && self.cfg.retrain_every > 0
-                && (episode + 1 - self.cfg.cold_start_episodes)
-                    .is_multiple_of(self.cfg.retrain_every);
-            let components_active = self.cfg.use_predictor || self.cfg.use_novelty;
-            if components_active && cold_start_end {
-                self.train_components_cold_start();
-            } else if components_active && retrain_due {
-                self.finetune_components();
-            }
-
-            episode_best.push(best_score);
-
-            // Crash-safe checkpoint at the episode boundary. Absolute
-            // episode numbering keeps the cadence stable across resumes.
-            if self.cfg.checkpoint_every > 0
-                && (episode + 1).is_multiple_of(self.cfg.checkpoint_every)
-            {
-                let total = prior_secs + t_start.elapsed().as_secs_f64();
-                self.write_checkpoint(
-                    episode + 1,
-                    base_score,
-                    best_score,
-                    &best_fs,
-                    &records,
-                    &episode_best,
-                    total,
-                )?;
-            }
-        }
-
-        let s = self.stats_baseline.merge(&self.predictor.stats().merge(&self.novelty.stats()));
-        self.telemetry.prefix_hits = s.prefix_hits;
-        self.telemetry.prefix_misses = s.prefix_misses;
-        self.telemetry.prefix_evictions = s.evictions;
-        self.telemetry.score_batches = s.batches;
-        self.telemetry.batch_size_hist = s.batch_hist;
-        self.telemetry.total_secs = prior_secs + t_start.elapsed().as_secs_f64();
-        Ok(RunResult {
-            base_score,
-            best_score,
-            best_dataset: best_fs.data,
-            best_exprs: best_fs.exprs,
-            records,
-            episode_best,
-            telemetry: self.telemetry,
-            stop_reason: stop,
-        })
-    }
-
-    /// Write a checkpoint to `cfg.checkpoint_path` (no-op without a path).
-    #[allow(clippy::too_many_arguments)]
-    fn write_checkpoint(
-        &mut self,
-        next_episode: usize,
-        base_score: f64,
-        best_score: f64,
-        best_fs: &FeatureSet,
-        records: &[StepRecord],
-        episode_best: &[f64],
-        total_secs: f64,
-    ) -> FastFtResult<()> {
-        let Some(path) = self.cfg.checkpoint_path.clone() else {
-            return Ok(());
-        };
-        let snap = self.snapshot(
-            next_episode,
-            base_score,
-            best_score,
-            best_fs,
-            records,
-            episode_best,
-            total_secs,
-        );
-        checkpoint::write(&path, self.cfg, &snap)
-    }
-
-    /// Capture the complete run state at an episode boundary.
-    #[allow(clippy::too_many_arguments)]
-    fn snapshot(
-        &mut self,
-        next_episode: usize,
-        base_score: f64,
-        best_score: f64,
-        best_fs: &FeatureSet,
-        records: &[StepRecord],
-        episode_best: &[f64],
-        total_secs: f64,
-    ) -> checkpoint::Snapshot {
-        let mut telemetry = self.telemetry;
-        telemetry.total_secs = total_secs;
-        checkpoint::Snapshot {
-            data_fingerprint: checkpoint::dataset_fingerprint(self.original),
-            next_episode,
-            global_step: self.global_step,
-            base_score,
-            best_score,
-            best_exprs: best_fs.exprs.iter().map(|e| e.to_string()).collect(),
-            best_columns: best_fs.data.features.iter().map(|c| c.values.clone()).collect(),
-            records: records.to_vec(),
-            episode_best: episode_best.to_vec(),
-            telemetry,
-            rng: self.rng.state(),
-            agents: self.agents.save_state(),
-            predictor: self.predictor.save_state(),
-            novelty: self.novelty.save_state(),
-            replay: match &self.memory {
-                Memory::Prioritized(b) => checkpoint::ReplayState::Prioritized {
-                    capacity: b.capacity(),
-                    write: b.write_pos(),
-                    items: b.iter().cloned().collect(),
-                    priorities: (0..b.len()).map(|i| b.priority(i)).collect(),
-                },
-                Memory::Uniform(b) => checkpoint::ReplayState::Uniform {
-                    capacity: b.capacity(),
-                    write: b.write_pos(),
-                    items: b.iter().cloned().collect(),
-                },
-            },
-            tracker_history: self.tracker.history().to_vec(),
-            tracker_seen: self.tracker.seen_keys_sorted().into_iter().map(String::from).collect(),
-            eval_cache: self
-                .eval_cache
-                .entries_lru_to_mru()
-                .into_iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect(),
-            eval_history: self.eval_history.clone(),
-            pred_history: self.pred_history.clone(),
-            nov_history: self.nov_history.clone(),
-            nov_count: self.nov_count,
-            nov_mean: self.nov_mean,
-            nov_m2: self.nov_m2,
-            stats_baseline: self
-                .stats_baseline
-                .merge(&self.predictor.stats().merge(&self.novelty.stats())),
-            quarantine: self
-                .quarantine
-                .entries_lru_to_mru()
-                .into_iter()
-                .map(|(k, ())| k.clone())
-                .collect(),
-        }
-    }
-
-    /// Load checkpointed state into a freshly-constructed run. The frozen
-    /// RND target and the prefix caches were already rebuilt by
-    /// [`Run::new`]; everything else comes from the snapshot.
-    fn restore(&mut self, snap: &checkpoint::Snapshot) -> FastFtResult<()> {
-        let bad = |what: &str, e: String| FastFtError::Parse(format!("checkpoint: {what}: {e}"));
-        self.rng = StdRng::from_state(snap.rng);
-        self.agents.load_state(&snap.agents).map_err(|e| bad("agents", e))?;
-        self.predictor.load_state(&snap.predictor).map_err(|e| bad("predictor", e))?;
-        self.novelty.load_state(&snap.novelty).map_err(|e| bad("novelty estimator", e))?;
-        self.memory = match &snap.replay {
-            checkpoint::ReplayState::Prioritized { capacity, write, items, priorities } => {
-                Memory::Prioritized(PrioritizedReplay::from_parts(
-                    *capacity,
-                    *write,
-                    items.clone(),
-                    priorities.clone(),
-                ))
-            }
-            checkpoint::ReplayState::Uniform { capacity, write, items } => {
-                Memory::Uniform(UniformReplay::from_parts(*capacity, *write, items.clone()))
-            }
-        };
-        self.tracker =
-            NoveltyTracker::from_parts(snap.tracker_history.clone(), snap.tracker_seen.clone());
-        self.eval_cache = LruCache::new(self.cfg.eval_cache_capacity);
-        for (k, v) in &snap.eval_cache {
-            self.eval_cache.insert(k.clone(), *v);
-        }
-        self.quarantine = LruCache::new(QUARANTINE_CAPACITY);
-        for k in &snap.quarantine {
-            self.quarantine.insert(k.clone(), ());
-        }
-        self.eval_history = snap.eval_history.clone();
-        self.pred_history = snap.pred_history.clone();
-        self.nov_history = snap.nov_history.clone();
-        self.nov_count = snap.nov_count;
-        self.nov_mean = snap.nov_mean;
-        self.nov_m2 = snap.nov_m2;
-        self.stats_baseline = snap.stats_baseline;
-        self.telemetry = snap.telemetry;
-        self.global_step = snap.global_step;
-        Ok(())
-    }
-
-    fn store_and_learn(&mut self, mem: MemoryUnit) {
-        let t_opt = Instant::now();
-        let delta = self.agents.td_error(&mem);
-        self.memory.push(mem, delta);
-        // Alg. 1 line 9 / Alg. 2 line 17: sample from the priority
-        // distribution and optimise the cascading agents.
-        if self.memory.len() >= 2 {
-            if let Some(sampled) = self.memory.sample(&mut self.rng) {
-                let sampled = sampled.clone();
-                self.agents.learn(&sampled);
-            }
-        }
-        self.telemetry.optimization_secs += t_opt.elapsed().as_secs_f64();
-    }
-
-    /// Train the components on `items` in order: one Adam step per sample
-    /// when `cfg.minibatch == 0` (the paper's schedule), averaged-gradient
-    /// steps over `cfg.minibatch`-sized chunks otherwise.
-    fn train_components_on(&mut self, items: &[(Vec<usize>, f64)], train_novelty: bool) {
-        if self.cfg.minibatch > 0 {
-            for chunk in items.chunks(self.cfg.minibatch) {
-                let batch: Vec<(&[usize], f64)> =
-                    chunk.iter().map(|(s, v)| (s.as_slice(), *v)).collect();
-                if self.cfg.use_predictor {
-                    self.predictor.train_minibatch(&batch, &self.runtime);
-                }
-                if train_novelty && self.cfg.use_novelty {
-                    let seqs: Vec<&[usize]> = batch.iter().map(|&(s, _)| s).collect();
-                    self.novelty.train_minibatch(&seqs, &self.runtime);
-                }
-            }
-        } else {
-            for (seq, v) in items {
-                if self.cfg.use_predictor {
-                    self.predictor.train_step(seq, *v);
-                }
-                if train_novelty && self.cfg.use_novelty {
-                    self.novelty.train_step(seq);
-                }
-            }
-        }
-    }
-
-    /// Run a component-training round under a fault guard: the predictor
-    /// and estimator weights are snapshotted first, and a round that
-    /// panics or leaves non-finite parameters is rolled back to the
-    /// snapshot (one `weight_rollbacks` count per restored component)
-    /// instead of poisoning every score after it.
-    fn train_guarded(&mut self, round: impl FnOnce(&mut Self)) {
-        let pred_backup = self.cfg.use_predictor.then(|| self.predictor.save_state());
-        let nov_backup = self.cfg.use_novelty.then(|| self.novelty.save_state());
-        let panicked = catch_unwind(AssertUnwindSafe(|| round(self))).is_err();
-        if let Some(b) = pred_backup {
-            if panicked || !self.predictor.params_finite() {
-                let _ = self.predictor.load_state(&b);
-                self.telemetry.weight_rollbacks += 1;
-            }
-        }
-        if let Some(b) = nov_backup {
-            if panicked || !self.novelty.params_finite() {
-                let _ = self.novelty.load_state(&b);
-                self.telemetry.weight_rollbacks += 1;
-            }
-        }
-    }
-
-    /// Alg. 1 lines 14–19: initial training of both components from the
-    /// cold-start collection.
-    fn train_components_cold_start(&mut self) {
-        let t_est = Instant::now();
-        let passes = self.cfg.retrain_epochs.max(1);
-        let history = self.eval_history.clone();
-        self.train_guarded(move |run| {
-            for _ in 0..passes {
-                run.train_components_on(&history, true);
-            }
-        });
-        self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
-    }
-
-    /// Alg. 2 lines 19–24: periodic fine-tuning from the memory buffer
-    /// (uniform samples).
-    fn finetune_components(&mut self) {
-        let t_est = Instant::now();
-        // Draw every uniform sample before training: sampling consumes the
-        // run RNG identically whether the steps below are per-sample or
-        // minibatched, so `cfg.minibatch` never shifts the decision stream.
-        let mut sampled = Vec::with_capacity(self.cfg.retrain_epochs);
-        for _ in 0..self.cfg.retrain_epochs {
-            if let Some(mem) = self.memory.sample_uniform(&mut self.rng) {
-                sampled.push((mem.seq.clone(), mem.perf));
-            }
-        }
-        let use_predictor = self.cfg.use_predictor;
-        let recent = self.eval_history.len().saturating_sub(self.cfg.retrain_epochs);
-        let tail: Vec<(Vec<usize>, f64)> = self.eval_history[recent..].to_vec();
-        self.train_guarded(move |run| {
-            run.train_components_on(&sampled, true);
-            // Anchor the predictor on real downstream results as well, so
-            // estimated rewards cannot drift from evaluated ones.
-            if use_predictor {
-                run.train_components_on(&tail, false);
-            }
-        });
-        self.telemetry.estimation_secs += t_est.elapsed().as_secs_f64();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::{SearchState, StageCx, TelemetryCollector};
     use fastft_ml::Evaluator;
+    use fastft_runtime::Runtime;
     use fastft_tabular::datagen;
 
     fn small_data(name: &str, rows: usize, seed: u64) -> Dataset {
@@ -1217,23 +310,32 @@ mod tests {
     fn memo_cache_returns_cached_score_without_reeval() {
         let data = small_data("pima_indian", 120, 13);
         let cfg = tiny_cfg();
-        let mut run = Run::new(&cfg, &data);
-        let s1 = run.evaluate_downstream(&data, Some("k")).unwrap();
-        assert_eq!(run.telemetry.downstream_evals, 1);
-        assert_eq!(run.telemetry.cache_hits, 0);
-        let s2 = run.evaluate_downstream(&data, Some("k")).unwrap();
+        let rt = Runtime::new(1);
+        let mut state = SearchState::new(&cfg, &data);
+        let mut obs = crate::pipeline::NullObserver;
+        let mut cx = StageCx {
+            cfg: &cfg,
+            original: &data,
+            runtime: &rt,
+            state: &mut state,
+            observer: &mut obs,
+        };
+        let s1 = cx.evaluate_downstream(&data, Some("k")).unwrap();
+        assert_eq!(cx.state.telemetry.downstream_evals, 1);
+        assert_eq!(cx.state.telemetry.cache_hits, 0);
+        let s2 = cx.evaluate_downstream(&data, Some("k")).unwrap();
         assert_eq!(s1, s2);
-        assert_eq!(run.telemetry.downstream_evals, 1);
-        assert_eq!(run.telemetry.cache_hits, 1);
+        assert_eq!(cx.state.telemetry.downstream_evals, 1);
+        assert_eq!(cx.state.telemetry.cache_hits, 1);
         // A distinct key is a miss.
-        run.evaluate_downstream(&data, Some("other")).unwrap();
-        assert_eq!(run.telemetry.downstream_evals, 2);
-        assert_eq!(run.telemetry.cache_hits, 1);
+        cx.evaluate_downstream(&data, Some("other")).unwrap();
+        assert_eq!(cx.state.telemetry.downstream_evals, 2);
+        assert_eq!(cx.state.telemetry.cache_hits, 1);
         // `None` bypasses the cache entirely.
-        run.evaluate_downstream(&data, None).unwrap();
-        run.evaluate_downstream(&data, None).unwrap();
-        assert_eq!(run.telemetry.downstream_evals, 4);
-        assert_eq!(run.telemetry.cache_hits, 1);
+        cx.evaluate_downstream(&data, None).unwrap();
+        cx.evaluate_downstream(&data, None).unwrap();
+        assert_eq!(cx.state.telemetry.downstream_evals, 4);
+        assert_eq!(cx.state.telemetry.cache_hits, 1);
     }
 
     #[test]
@@ -1241,20 +343,29 @@ mod tests {
         let data = small_data("pima_indian", 120, 17);
         let mut cfg = tiny_cfg();
         cfg.eval_cache_capacity = 2;
-        let mut run = Run::new(&cfg, &data);
-        run.evaluate_downstream(&data, Some("a")).unwrap();
-        run.evaluate_downstream(&data, Some("b")).unwrap();
-        assert_eq!(run.telemetry.cache_evictions, 0);
+        let rt = Runtime::new(1);
+        let mut state = SearchState::new(&cfg, &data);
+        let mut obs = crate::pipeline::NullObserver;
+        let mut cx = StageCx {
+            cfg: &cfg,
+            original: &data,
+            runtime: &rt,
+            state: &mut state,
+            observer: &mut obs,
+        };
+        cx.evaluate_downstream(&data, Some("a")).unwrap();
+        cx.evaluate_downstream(&data, Some("b")).unwrap();
+        assert_eq!(cx.state.telemetry.cache_evictions, 0);
         // Third distinct key exceeds the capacity of 2: "a" is evicted.
-        run.evaluate_downstream(&data, Some("c")).unwrap();
-        assert_eq!(run.telemetry.cache_evictions, 1);
+        cx.evaluate_downstream(&data, Some("c")).unwrap();
+        assert_eq!(cx.state.telemetry.cache_evictions, 1);
         // "b" survived (was more recent than "a") and hits.
-        run.evaluate_downstream(&data, Some("b")).unwrap();
-        assert_eq!(run.telemetry.cache_hits, 1);
+        cx.evaluate_downstream(&data, Some("b")).unwrap();
+        assert_eq!(cx.state.telemetry.cache_hits, 1);
         // "a" was evicted, so it re-evaluates (and evicts "c").
-        run.evaluate_downstream(&data, Some("a")).unwrap();
-        assert_eq!(run.telemetry.downstream_evals, 4);
-        assert_eq!(run.telemetry.cache_evictions, 2);
+        cx.evaluate_downstream(&data, Some("a")).unwrap();
+        assert_eq!(cx.state.telemetry.downstream_evals, 4);
+        assert_eq!(cx.state.telemetry.cache_evictions, 2);
     }
 
     #[test]
@@ -1432,10 +543,62 @@ mod tests {
     }
 
     #[test]
-    fn percentile_helper() {
-        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 1.0), 5.0);
-        assert_eq!(percentile(&v, 0.5), 3.0);
+    fn session_run_matches_fit() {
+        let data = small_data("pima_indian", 120, 16);
+        let via_fit = FastFt::new(tiny_cfg()).fit(&data).unwrap();
+        let session = Session::new(tiny_cfg()).unwrap();
+        let via_session = session.run(&data).unwrap();
+        assert_eq!(via_fit.base_score, via_session.base_score);
+        assert_eq!(via_fit.best_score, via_session.best_score);
+        assert_eq!(via_fit.records, via_session.records);
+    }
+
+    #[test]
+    fn session_runs_multiple_datasets_on_shared_pool() {
+        let a = small_data("pima_indian", 120, 23);
+        let b = small_data("openml_620", 120, 24);
+        let session = Session::new(tiny_cfg()).unwrap();
+        let results = session.run_all(std::slice::from_ref(&a));
+        let solo = session.run(&a).unwrap();
+        assert_eq!(results.len(), 1);
+        // Runs are independent: batched and solo runs agree exactly.
+        let batched = results[0].as_ref().unwrap();
+        assert_eq!(batched.best_score, solo.best_score);
+        assert_eq!(batched.records, solo.records);
+        // A second, different dataset runs over the same pool.
+        let rb = session.run(&b).unwrap();
+        assert!(rb.best_score >= rb.base_score);
+    }
+
+    #[test]
+    fn observer_counters_match_telemetry() {
+        let data = small_data("pima_indian", 120, 25);
+        let cfg = tiny_cfg();
+        let session = Session::new(cfg.clone()).unwrap();
+        let mut collector = TelemetryCollector::new();
+        let r = session.run_observed(&data, &mut collector).unwrap();
+        let t = collector.telemetry();
+        assert_eq!(t.downstream_evals, r.telemetry.downstream_evals);
+        assert_eq!(t.cache_hits, r.telemetry.cache_hits);
+        assert_eq!(t.cache_evictions, r.telemetry.cache_evictions);
+        assert_eq!(t.predictor_calls, r.telemetry.predictor_calls);
+        assert_eq!(t.eval_faults, r.telemetry.eval_faults);
+        assert_eq!(t.quarantined, r.telemetry.quarantined);
+        assert_eq!(t.weight_rollbacks, r.telemetry.weight_rollbacks);
+        assert_eq!(collector.steps(), r.records.len());
+        assert_eq!(collector.episodes(), cfg.episodes);
+        assert_eq!(collector.checkpoints(), 0);
+    }
+
+    #[test]
+    fn observers_are_passive() {
+        // Attaching an observer must not perturb the decision stream.
+        let data = small_data("pima_indian", 120, 26);
+        let session = Session::new(tiny_cfg()).unwrap();
+        let plain = session.run(&data).unwrap();
+        let mut collector = TelemetryCollector::new();
+        let observed = session.run_observed(&data, &mut collector).unwrap();
+        assert_eq!(plain.best_score, observed.best_score);
+        assert_eq!(plain.records, observed.records);
     }
 }

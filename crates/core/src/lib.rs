@@ -42,6 +42,7 @@ pub mod novelty;
 pub mod novelty_metric;
 pub mod ops;
 pub mod parse;
+pub mod pipeline;
 pub mod predictor;
 pub mod report;
 pub mod scoring;
@@ -57,4 +58,5 @@ pub use expr::Expr;
 pub use fastft_tabular::{FastFtError, FastFtResult};
 pub use ops::Op;
 pub use parse::parse_expr;
+pub use pipeline::Session;
 pub use transform::FeatureSet;

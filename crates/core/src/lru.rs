@@ -267,6 +267,31 @@ mod tests {
     }
 
     #[test]
+    fn updating_a_key_marks_it_most_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Re-inserting 1 must move it to the front: 2 becomes the victim.
+        c.insert(1, 11);
+        assert!(c.insert(3, 30));
+        assert!(c.get(&2).is_none(), "2 was the LRU entry after 1's update");
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn borrowed_key_lookup_touches_recency() {
+        let mut c: LruCache<String, u32> = LruCache::new(2);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        // `get` by `&str` against `String` keys, as the engine's memo cache
+        // does, must also refresh recency.
+        assert_eq!(c.get("a"), Some(&1));
+        c.insert("c".into(), 3);
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("a"), Some(&1));
+    }
+
+    #[test]
     fn eviction_order_follows_recency_chain() {
         let mut c: LruCache<u32, u32> = LruCache::new(3);
         c.insert(1, 1);

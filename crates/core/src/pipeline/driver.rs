@@ -1,0 +1,302 @@
+//! The deterministic episode/step loop over composed stages.
+//!
+//! [`Driver`] owns a [`SearchState`] and three stage strategies, and runs
+//! the paper's outer loop: survey → (absorb pending memory) → select →
+//! cross → score → record, with component training, best tracking and
+//! crash-safe checkpointing at episode boundaries. The loop itself makes
+//! no learning decisions — those live in the stages — but it *is* the
+//! single owner of RNG-consumption order, which is what makes every
+//! composition of stages (full method, ablations, resumed runs) share one
+//! decision stream.
+
+use crate::agents::{Decision, MemoryUnit};
+use crate::checkpoint;
+use crate::config::FastFtConfig;
+use crate::pipeline::event::{NullObserver, RunEvent, RunObserver};
+use crate::pipeline::search_state::SearchState;
+use crate::pipeline::stages::{
+    AdaptiveRewardModel, CandidateSource, CascadeSource, Learner, ReplayLearner, RewardModel,
+    ScoreInput, StageCx,
+};
+use crate::pipeline::{RunResult, StepRecord, StopReason};
+use crate::sequence::{canonical_key, encode_feature_set};
+use crate::state;
+use crate::transform::FeatureSet;
+use fastft_runtime::Runtime;
+use fastft_tabular::{Dataset, FastFtResult};
+use std::time::Instant;
+
+/// Which run budget, if any, is exhausted at this step boundary. Pure
+/// bookkeeping — no RNG is consumed — so a budget-stopped run stays on
+/// the same decision stream as an uninterrupted one up to the stop.
+fn budget_reason(
+    cfg: &FastFtConfig,
+    state: &SearchState,
+    t_start: Instant,
+    prior_secs: f64,
+) -> Option<StopReason> {
+    if cfg.max_downstream_evals > 0 && state.telemetry.downstream_evals >= cfg.max_downstream_evals
+    {
+        return Some(StopReason::EvalBudget);
+    }
+    if cfg.max_wall_secs > 0.0 && prior_secs + t_start.elapsed().as_secs_f64() >= cfg.max_wall_secs
+    {
+        return Some(StopReason::WallClock);
+    }
+    None
+}
+
+/// The staged FASTFT run loop.
+///
+/// Generic over its three stage roles with the paper's implementations as
+/// defaults; `Driver::new` composes the full method, ablation and baseline
+/// variants compose the same loop with different stages or configurations.
+pub struct Driver<'a, S = CascadeSource, R = AdaptiveRewardModel, L = ReplayLearner> {
+    cfg: &'a FastFtConfig,
+    original: &'a Dataset,
+    runtime: &'a Runtime,
+    /// The run's mutable state (exposed so resume can load a checkpoint
+    /// into it before the loop starts).
+    pub state: SearchState,
+    source: S,
+    reward: R,
+    learner: L,
+}
+
+impl<'a> Driver<'a> {
+    /// Compose the paper's stages over a fresh [`SearchState`].
+    pub fn new(cfg: &'a FastFtConfig, data: &'a Dataset, runtime: &'a Runtime) -> Self {
+        Driver::with_stages(cfg, data, runtime, CascadeSource, AdaptiveRewardModel, ReplayLearner)
+    }
+}
+
+impl<'a, S: CandidateSource, R: RewardModel, L: Learner> Driver<'a, S, R, L> {
+    /// Compose custom stages over a fresh [`SearchState`].
+    pub fn with_stages(
+        cfg: &'a FastFtConfig,
+        data: &'a Dataset,
+        runtime: &'a Runtime,
+        source: S,
+        reward: R,
+        learner: L,
+    ) -> Self {
+        Driver {
+            cfg,
+            original: data,
+            runtime,
+            state: SearchState::new(cfg, data),
+            source,
+            reward,
+            learner,
+        }
+    }
+
+    /// Run from scratch: evaluate the base score, then enter the episode
+    /// loop at episode 0.
+    pub fn execute(mut self, observer: &mut dyn RunObserver) -> FastFtResult<RunResult> {
+        let t_start = Instant::now();
+        let base_fs = FeatureSet::from_original(self.original);
+        let base_key = canonical_key(&base_fs.exprs);
+        let base_score = {
+            let mut cx = StageCx {
+                cfg: self.cfg,
+                original: self.original,
+                runtime: self.runtime,
+                state: &mut self.state,
+                observer,
+            };
+            cx.evaluate_downstream(self.original, Some(&base_key))?
+        };
+        self.execute_from(
+            observer,
+            t_start,
+            0,
+            base_score,
+            base_score,
+            base_fs,
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    /// The episode loop, entered at `start_episode` — 0 for a fresh run,
+    /// the checkpointed boundary for a resumed one. All best-so-far state
+    /// arrives as arguments so both paths share one code path (and one
+    /// decision stream).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_from(
+        self,
+        observer: &mut dyn RunObserver,
+        t_start: Instant,
+        start_episode: usize,
+        base_score: f64,
+        mut best_score: f64,
+        mut best_fs: FeatureSet,
+        mut records: Vec<StepRecord>,
+        mut episode_best: Vec<f64>,
+    ) -> FastFtResult<RunResult> {
+        let Driver { cfg, original, runtime, mut state, mut source, mut reward, mut learner } =
+            self;
+        let mut cx = StageCx { cfg, original, runtime, state: &mut state, observer };
+        cx.emit(RunEvent::RunStarted { episode: start_episode });
+        // Wall time accumulated before a resume; 0 for a fresh run.
+        let prior_secs = cx.state.telemetry.total_secs;
+        let mut stop = StopReason::Completed;
+
+        'episodes: for episode in start_episode..cfg.episodes {
+            let cold = episode < cfg.cold_start_episodes || !cfg.use_predictor;
+            cx.emit(RunEvent::EpisodeStarted { episode, cold });
+            let mut fs = FeatureSet::from_original(original);
+            let mut prev_v = base_score;
+            let mut prev_seq = encode_feature_set(&fs.exprs, &cx.state.vocab, cfg.max_seq_len);
+            let mut prev_state = state::rep_overall(&fs.data);
+            // Pending memory from the previous step, waiting for its
+            // next-step head candidates before insertion.
+            let mut pending: Option<MemoryUnit> = None;
+
+            for step in 0..cfg.steps_per_episode {
+                if let Some(reason) = budget_reason(cfg, cx.state, t_start, prior_secs) {
+                    stop = reason;
+                    break 'episodes;
+                }
+                cx.state.global_step += 1;
+
+                // --- candidate source ----------------------------------
+                let survey = source.survey(&mut cx, &fs, &prev_state);
+                // Complete the previous step's memory with this step's head
+                // candidates, then insert and learn — *before* the head
+                // selection, so replay sampling and action selection keep
+                // their relative order on the RNG stream.
+                if let Some(mut mem) = pending.take() {
+                    mem.next_head_candidates = survey.head_cands.clone();
+                    learner.absorb(&mut cx, mem);
+                }
+                let sel = source.select(&mut cx, &survey);
+                let crossing = source.apply(&mut cx, &mut fs, &survey, &sel);
+                let (nov_dist, new_comb) =
+                    cx.state.tracker.observe(crossing.next_state.clone(), &crossing.key);
+
+                // --- reward model --------------------------------------
+                let scored = reward.score(
+                    &mut cx,
+                    ScoreInput {
+                        episode,
+                        cold,
+                        data: &fs.data,
+                        key: &crossing.key,
+                        seq: &crossing.seq,
+                        prev_seq: &prev_seq,
+                        prev_v,
+                    },
+                );
+                // Penalise steps that generated nothing new.
+                let reward_val =
+                    if crossing.produced { scored.reward } else { scored.reward - 0.05 };
+
+                // Best tracking: only real downstream evaluations count.
+                if !scored.predicted && scored.v > best_score {
+                    best_score = scored.v;
+                    best_fs = fs.clone();
+                }
+
+                // --- memory --------------------------------------------
+                let mem = MemoryUnit {
+                    state: prev_state.clone(),
+                    next_state: crossing.next_state.clone(),
+                    reward: reward_val,
+                    head: Decision { candidates: survey.head_cands, action: sel.head_idx },
+                    op: Decision { candidates: sel.op_cands, action: sel.op_idx },
+                    tail: sel.tail.map(|(cands, idx)| Decision { candidates: cands, action: idx }),
+                    next_head_candidates: Vec::new(),
+                    seq: crossing.seq.clone(),
+                    perf: scored.v,
+                };
+                pending = Some(mem);
+
+                let record = StepRecord {
+                    episode,
+                    step,
+                    reward: reward_val,
+                    score: scored.v,
+                    predicted: scored.predicted,
+                    novelty: scored.novelty,
+                    novelty_distance: nov_dist,
+                    new_combination: new_comb,
+                    n_features: fs.n_features(),
+                    new_exprs: crossing.new_exprs,
+                };
+                cx.emit(RunEvent::StepCompleted { record: &record });
+                records.push(record);
+
+                prev_v = scored.v;
+                prev_seq = crossing.seq;
+                prev_state = crossing.next_state;
+            }
+            // Episode end: flush the pending memory (terminal transition).
+            if let Some(mem) = pending.take() {
+                learner.absorb(&mut cx, mem);
+            }
+
+            // --- component training -------------------------------------
+            let cold_start_end = episode + 1 == cfg.cold_start_episodes;
+            let retrain_due = episode + 1 > cfg.cold_start_episodes
+                && cfg.retrain_every > 0
+                && (episode + 1 - cfg.cold_start_episodes).is_multiple_of(cfg.retrain_every);
+            let components_active = cfg.use_predictor || cfg.use_novelty;
+            if components_active && cold_start_end {
+                learner.train_cold_start(&mut cx);
+            } else if components_active && retrain_due {
+                learner.finetune(&mut cx);
+            }
+
+            episode_best.push(best_score);
+            cx.emit(RunEvent::EpisodeCompleted { episode, best_score });
+
+            // Crash-safe checkpoint at the episode boundary. Absolute
+            // episode numbering keeps the cadence stable across resumes.
+            if cfg.checkpoint_every > 0 && (episode + 1).is_multiple_of(cfg.checkpoint_every) {
+                if let Some(path) = cfg.checkpoint_path.clone() {
+                    let total = prior_secs + t_start.elapsed().as_secs_f64();
+                    let snap = cx.state.snapshot(
+                        original,
+                        episode + 1,
+                        base_score,
+                        best_score,
+                        &best_fs,
+                        &records,
+                        &episode_best,
+                        total,
+                    );
+                    checkpoint::write(&path, cfg, &snap)?;
+                    cx.emit(RunEvent::CheckpointWritten { next_episode: episode + 1 });
+                }
+            }
+        }
+
+        let s = cx.state.merged_component_stats();
+        let t = &mut cx.state.telemetry;
+        t.prefix_hits = s.prefix_hits;
+        t.prefix_misses = s.prefix_misses;
+        t.prefix_evictions = s.evictions;
+        t.score_batches = s.batches;
+        t.batch_size_hist = s.batch_hist;
+        t.total_secs = prior_secs + t_start.elapsed().as_secs_f64();
+        let telemetry = cx.state.telemetry;
+        cx.emit(RunEvent::RunCompleted { stop, best_score });
+        Ok(RunResult {
+            base_score,
+            best_score,
+            best_dataset: best_fs.data,
+            best_exprs: best_fs.exprs,
+            records,
+            episode_best,
+            telemetry,
+            stop_reason: stop,
+        })
+    }
+
+    /// [`execute`](Driver::execute) with no observer attached.
+    pub fn run(self) -> FastFtResult<RunResult> {
+        self.execute(&mut NullObserver)
+    }
+}

@@ -1,0 +1,362 @@
+//! The mutable state of one FASTFT run, owned by the
+//! [`Driver`](crate::pipeline::Driver) and threaded through every stage.
+//!
+//! [`SearchState`] is the single home of everything a run mutates — agent
+//! and component weights, the replay buffer, the RNG, histories, caches and
+//! telemetry. Checkpointing goes through [`SearchState::snapshot`] /
+//! [`SearchState::restore`], which destructure the struct exhaustively:
+//! adding a field without deciding how it persists is a compile error, not
+//! a silently-forgotten piece of state.
+
+use crate::agents::{CascadingAgents, MemoryUnit};
+use crate::checkpoint::{self, Snapshot};
+use crate::config::FastFtConfig;
+use crate::lru::LruCache;
+use crate::novelty::NoveltyEstimator;
+use crate::novelty_metric::NoveltyTracker;
+use crate::pipeline::{StepRecord, Telemetry};
+use crate::predictor::{PerformancePredictor, PredictorConfig};
+use crate::scoring::ScoreStats;
+use crate::sequence::TokenVocab;
+use crate::transform::FeatureSet;
+use fastft_rl::{PrioritizedReplay, ReplayState, UniformReplay};
+use fastft_tabular::rngx;
+use fastft_tabular::rngx::StdRng;
+use fastft_tabular::{Dataset, FastFtError, FastFtResult};
+
+/// Cap on the quarantine set: plenty for any realistic fault pattern,
+/// while bounding memory if a dataset makes *every* candidate fault.
+pub(crate) const QUARANTINE_CAPACITY: usize = 256;
+
+/// Replay buffer behind one sampling policy switch (`prioritized_replay`).
+pub(crate) enum Memory {
+    /// TD-error-prioritized sampling (Eq. 10).
+    Prioritized(PrioritizedReplay<MemoryUnit>),
+    /// Uniform sampling (the −CMR ablation).
+    Uniform(UniformReplay<MemoryUnit>),
+}
+
+impl Memory {
+    pub(crate) fn push(&mut self, mem: MemoryUnit, delta: f64) {
+        match self {
+            Memory::Prioritized(b) => b.push(mem, delta),
+            Memory::Uniform(b) => b.push(mem),
+        }
+    }
+
+    pub(crate) fn sample<'a>(&'a self, rng: &mut StdRng) -> Option<&'a MemoryUnit> {
+        match self {
+            Memory::Prioritized(b) => b.sample(rng),
+            Memory::Uniform(b) => b.sample(rng),
+        }
+    }
+
+    pub(crate) fn sample_uniform<'a>(&'a self, rng: &mut StdRng) -> Option<&'a MemoryUnit> {
+        match self {
+            Memory::Prioritized(b) => b.sample_uniform(rng),
+            Memory::Uniform(b) => b.sample(rng),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Memory::Prioritized(b) => b.len(),
+            Memory::Uniform(b) => b.len(),
+        }
+    }
+
+    /// Capture the buffer for a checkpoint (slot order preserved).
+    fn save_state(&self) -> ReplayState<MemoryUnit> {
+        match self {
+            Memory::Prioritized(b) => b.save_state(),
+            Memory::Uniform(b) => b.save_state(),
+        }
+    }
+
+    /// Rebuild from a checkpointed buffer; errors on inconsistent parts.
+    fn from_state(state: ReplayState<MemoryUnit>) -> Result<Self, String> {
+        match state {
+            s @ ReplayState::Prioritized { .. } => {
+                PrioritizedReplay::from_state(s).map(Memory::Prioritized)
+            }
+            s @ ReplayState::Uniform { .. } => UniformReplay::from_state(s).map(Memory::Uniform),
+        }
+    }
+}
+
+/// Everything one run mutates, in one place.
+///
+/// Stages receive it through [`StageCx`](crate::pipeline::StageCx) and
+/// mutate it directly; the driver owns it and snapshots it at episode
+/// boundaries.
+pub struct SearchState {
+    /// Token vocabulary for sequence encoding (immutable, sized to the
+    /// dataset).
+    pub vocab: TokenVocab,
+    /// The cascading head/operation/tail agents.
+    pub agents: CascadingAgents,
+    /// Performance Predictor (Eq. 3).
+    pub predictor: PerformancePredictor,
+    /// Novelty Estimator (Eq. 4, random network distillation).
+    pub novelty: NoveltyEstimator,
+    /// Replay buffer of transition memories.
+    pub(crate) memory: Memory,
+    /// §VI-H novelty-distance tracker over feature-set embeddings.
+    pub tracker: NoveltyTracker,
+    /// The run's single RNG; consumption order defines the decision stream.
+    pub rng: StdRng,
+    /// Timing and counter telemetry accumulated so far.
+    pub telemetry: Telemetry,
+    /// Memoised downstream scores keyed by the canonical (order-invariant)
+    /// feature-set key: revisiting a feature combination never pays for
+    /// cross-validation twice within a run. Capacity-capped LRU so long
+    /// runs cannot grow it without limit (`cfg.eval_cache_capacity`).
+    pub eval_cache: LruCache<String, f64>,
+    /// Downstream-evaluated (sequence, score) pairs for component training.
+    pub eval_history: Vec<(Vec<usize>, f64)>,
+    /// Rolling predicted-performance history for the α percentile trigger.
+    pub pred_history: Vec<f64>,
+    /// Rolling raw-novelty history for the β percentile trigger.
+    pub nov_history: Vec<f64>,
+    /// Welford running count of raw novelty, for intrinsic-reward
+    /// normalisation (standard RND practice; DESIGN.md §4).
+    pub nov_count: usize,
+    /// Welford running mean of raw novelty.
+    pub nov_mean: f64,
+    /// Welford running sum of squared deviations of raw novelty.
+    pub nov_m2: f64,
+    /// Steps taken across all episodes (drives the novelty-weight decay).
+    pub global_step: usize,
+    /// Prefix-cache/batching counters accumulated before the last resume:
+    /// the caches themselves restart cold, so end-of-run telemetry is this
+    /// baseline merged with the fresh caches' counters.
+    pub stats_baseline: ScoreStats,
+    /// Canonical keys of candidates whose downstream evaluation kept
+    /// faulting. LRU-bounded so pathological data cannot grow it without
+    /// limit; quarantined candidates are scored by the predictor instead.
+    pub quarantine: LruCache<String, ()>,
+}
+
+impl SearchState {
+    /// Fresh state for a run of `cfg` over `data`. Component seeds are
+    /// fixed offsets of `cfg.seed` so every stage draws from its own
+    /// deterministic stream.
+    pub fn new(cfg: &FastFtConfig, data: &Dataset) -> Self {
+        let vocab = TokenVocab::new(data.n_features());
+        let pc = PredictorConfig {
+            dim: 32,
+            encoder: cfg.encoder,
+            lr: cfg.lr,
+            prefix_cache: cfg.prefix_cache_capacity,
+        };
+        let mut agents = CascadingAgents::new(cfg.rl, cfg.agent_hidden, cfg.agent_lr, cfg.seed);
+        agents.gamma = cfg.gamma;
+        let memory = if cfg.prioritized_replay {
+            Memory::Prioritized(PrioritizedReplay::new(cfg.memory_size))
+        } else {
+            Memory::Uniform(UniformReplay::new(cfg.memory_size))
+        };
+        SearchState {
+            vocab,
+            agents,
+            predictor: PerformancePredictor::new(vocab.size(), pc, cfg.seed.wrapping_add(11)),
+            novelty: NoveltyEstimator::new(vocab.size(), pc, cfg.seed.wrapping_add(23)),
+            memory,
+            tracker: NoveltyTracker::new(),
+            rng: rngx::rng(cfg.seed.wrapping_add(37)),
+            telemetry: Telemetry::default(),
+            eval_cache: LruCache::new(cfg.eval_cache_capacity),
+            eval_history: Vec::new(),
+            pred_history: Vec::new(),
+            nov_history: Vec::new(),
+            nov_count: 0,
+            nov_mean: 0.0,
+            nov_m2: 0.0,
+            global_step: 0,
+            stats_baseline: ScoreStats::default(),
+            quarantine: LruCache::new(QUARANTINE_CAPACITY),
+        }
+    }
+
+    /// Pre-resume counter baseline merged with the live caches' counters.
+    pub fn merged_component_stats(&self) -> ScoreStats {
+        self.stats_baseline.merge(&self.predictor.stats().merge(&self.novelty.stats()))
+    }
+
+    /// Capture the complete run state at an episode boundary.
+    ///
+    /// Destructures `self` exhaustively: a new `SearchState` field fails to
+    /// compile here until its persistence is decided.
+    #[allow(clippy::too_many_arguments)]
+    pub fn snapshot(
+        &mut self,
+        original: &Dataset,
+        next_episode: usize,
+        base_score: f64,
+        best_score: f64,
+        best_fs: &FeatureSet,
+        records: &[StepRecord],
+        episode_best: &[f64],
+        total_secs: f64,
+    ) -> Snapshot {
+        let SearchState {
+            vocab: _, // derived from the dataset, rebuilt on restore
+            agents,
+            predictor,
+            novelty,
+            memory,
+            tracker,
+            rng,
+            telemetry,
+            eval_cache,
+            eval_history,
+            pred_history,
+            nov_history,
+            nov_count,
+            nov_mean,
+            nov_m2,
+            global_step,
+            stats_baseline,
+            quarantine,
+        } = self;
+        let stats_baseline = stats_baseline.merge(&predictor.stats().merge(&novelty.stats()));
+        let mut telemetry = *telemetry;
+        telemetry.total_secs = total_secs;
+        Snapshot {
+            data_fingerprint: checkpoint::dataset_fingerprint(original),
+            next_episode,
+            global_step: *global_step,
+            base_score,
+            best_score,
+            best_exprs: best_fs.exprs.iter().map(|e| e.to_string()).collect(),
+            best_columns: best_fs.data.features.iter().map(|c| c.values.clone()).collect(),
+            records: records.to_vec(),
+            episode_best: episode_best.to_vec(),
+            telemetry,
+            rng: rng.state(),
+            agents: agents.save_state(),
+            predictor: predictor.save_state(),
+            novelty: novelty.save_state(),
+            replay: memory.save_state(),
+            tracker_history: tracker.history().to_vec(),
+            tracker_seen: tracker.seen_keys_sorted().into_iter().map(String::from).collect(),
+            eval_cache: eval_cache
+                .entries_lru_to_mru()
+                .into_iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            eval_history: eval_history.clone(),
+            pred_history: pred_history.clone(),
+            nov_history: nov_history.clone(),
+            nov_count: *nov_count,
+            nov_mean: *nov_mean,
+            nov_m2: *nov_m2,
+            stats_baseline,
+            quarantine: quarantine
+                .entries_lru_to_mru()
+                .into_iter()
+                .map(|(k, ())| k.clone())
+                .collect(),
+        }
+    }
+
+    /// Load checkpointed state into a freshly-constructed state. The frozen
+    /// RND target and the prefix caches were already rebuilt by
+    /// [`SearchState::new`]; everything else comes from the snapshot.
+    pub fn restore(&mut self, snap: &Snapshot, cfg: &FastFtConfig) -> FastFtResult<()> {
+        let bad = |what: &str, e: String| FastFtError::Parse(format!("checkpoint: {what}: {e}"));
+        self.rng = StdRng::from_state(snap.rng);
+        self.agents.load_state(&snap.agents).map_err(|e| bad("agents", e))?;
+        self.predictor.load_state(&snap.predictor).map_err(|e| bad("predictor", e))?;
+        self.novelty.load_state(&snap.novelty).map_err(|e| bad("novelty estimator", e))?;
+        self.memory =
+            Memory::from_state(snap.replay.clone()).map_err(|e| bad("replay buffer", e))?;
+        self.tracker =
+            NoveltyTracker::from_parts(snap.tracker_history.clone(), snap.tracker_seen.clone());
+        self.eval_cache = LruCache::new(cfg.eval_cache_capacity);
+        for (k, v) in &snap.eval_cache {
+            self.eval_cache.insert(k.clone(), *v);
+        }
+        self.quarantine = LruCache::new(QUARANTINE_CAPACITY);
+        for k in &snap.quarantine {
+            self.quarantine.insert(k.clone(), ());
+        }
+        self.eval_history = snap.eval_history.clone();
+        self.pred_history = snap.pred_history.clone();
+        self.nov_history = snap.nov_history.clone();
+        self.nov_count = snap.nov_count;
+        self.nov_mean = snap.nov_mean;
+        self.nov_m2 = snap.nov_m2;
+        self.stats_baseline = snap.stats_baseline;
+        self.telemetry = snap.telemetry;
+        self.global_step = snap.global_step;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::Decision;
+
+    fn unit(tag: f64) -> MemoryUnit {
+        MemoryUnit {
+            state: vec![tag],
+            next_state: vec![tag + 0.5],
+            reward: tag,
+            head: Decision { candidates: vec![vec![tag]], action: 0 },
+            op: Decision { candidates: vec![vec![tag]], action: 0 },
+            tail: None,
+            next_head_candidates: Vec::new(),
+            seq: vec![tag as usize],
+            perf: tag,
+        }
+    }
+
+    /// Resume regression: the prioritized buffer must keep its TD-error
+    /// priorities *and* slot order across save/restore, so an identically
+    /// seeded RNG draws the same sample sequence before and after.
+    #[test]
+    fn prioritized_sampling_survives_save_restore() {
+        let mut mem = Memory::Prioritized(PrioritizedReplay::new(16));
+        for i in 0..10 {
+            // Spread the TD errors so the priority weighting matters.
+            mem.push(unit(i as f64), (i as f64 - 4.0) * 1.5);
+        }
+        // Round-trip through the checkpoint byte codec, exactly as a
+        // save/resume cycle would.
+        let mut w = fastft_tabular::persist::Writer::new();
+        fastft_tabular::persist::Persist::persist(&mem.save_state(), &mut w);
+        let bytes = w.into_bytes();
+        let mut r = fastft_tabular::persist::Reader::new(&bytes);
+        let state: ReplayState<MemoryUnit> =
+            fastft_tabular::persist::Persist::restore(&mut r).expect("decode");
+        let restored = Memory::from_state(state).expect("round-trip");
+        let mut rng_a = rngx::rng(99);
+        let mut rng_b = rngx::rng(99);
+        for draw in 0..64 {
+            let a = mem.sample(&mut rng_a).expect("buffer non-empty");
+            let b = restored.sample(&mut rng_b).expect("buffer non-empty");
+            assert_eq!(a, b, "draw {draw} diverged after restore");
+        }
+        // The uniform pathway (episode-end finetuning) must match too.
+        for draw in 0..16 {
+            let a = mem.sample_uniform(&mut rng_a).expect("buffer non-empty");
+            let b = restored.sample_uniform(&mut rng_b).expect("buffer non-empty");
+            assert_eq!(a, b, "uniform draw {draw} diverged after restore");
+        }
+    }
+
+    /// A mismatched variant in the checkpoint is a corruption error, not a
+    /// silent policy switch.
+    #[test]
+    fn replay_variant_mismatch_is_rejected() {
+        let mut mem = Memory::Uniform(UniformReplay::new(4));
+        mem.push(unit(1.0), 0.0);
+        let state = mem.save_state();
+        assert!(matches!(state, ReplayState::Uniform { .. }));
+        assert!(Memory::from_state(state).is_ok());
+        let pri = Memory::Prioritized(PrioritizedReplay::new(4));
+        assert!(matches!(pri.save_state(), ReplayState::Prioritized { .. }));
+    }
+}

@@ -1,0 +1,79 @@
+//! Multi-dataset session over one shared worker pool.
+//!
+//! [`Session`] owns a validated [`FastFtConfig`] and a single
+//! [`Runtime`]: every run launched through it shares the same worker
+//! threads instead of spinning up a pool per `fit` call. One run per
+//! dataset keeps runs independent (each gets a fresh
+//! [`SearchState`](crate::pipeline::SearchState) from the same seed), so
+//! results are identical to running each dataset alone.
+
+use crate::config::FastFtConfig;
+use crate::engine::validate_data;
+use crate::pipeline::driver::Driver;
+use crate::pipeline::event::{NullObserver, RunObserver};
+use crate::pipeline::RunResult;
+use fastft_runtime::Runtime;
+use fastft_tabular::{Dataset, FastFtResult};
+
+/// A validated configuration bound to one shared worker pool.
+pub struct Session {
+    cfg: FastFtConfig,
+    runtime: Runtime,
+}
+
+impl Session {
+    /// Validate `cfg` and build its worker pool (`cfg.threads`, or the
+    /// environment default when 0).
+    ///
+    /// # Errors
+    ///
+    /// [`fastft_tabular::FastFtError::InvalidConfig`] if the configuration
+    /// fails [`FastFtConfig::validate`].
+    pub fn new(cfg: FastFtConfig) -> FastFtResult<Self> {
+        cfg.validate()?;
+        let runtime =
+            if cfg.threads == 0 { Runtime::from_env() } else { Runtime::new(cfg.threads) };
+        Ok(Session { cfg, runtime })
+    }
+
+    /// The session's configuration.
+    pub fn cfg(&self) -> &FastFtConfig {
+        &self.cfg
+    }
+
+    /// The shared worker pool.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Run the staged pipeline on one dataset.
+    ///
+    /// # Errors
+    ///
+    /// [`fastft_tabular::FastFtError::InvalidData`] if `data` is
+    /// degenerate, [`fastft_tabular::FastFtError::Evaluation`] if the
+    /// *original* feature set cannot be scored (mid-run candidate faults
+    /// are quarantined instead), [`fastft_tabular::FastFtError::Io`] if a
+    /// configured checkpoint cannot be written.
+    pub fn run(&self, data: &Dataset) -> FastFtResult<RunResult> {
+        self.run_observed(data, &mut NullObserver)
+    }
+
+    /// [`run`](Session::run) with a [`RunObserver`] attached. Observers
+    /// are passive, so the result is identical with or without one.
+    pub fn run_observed(
+        &self,
+        data: &Dataset,
+        observer: &mut dyn RunObserver,
+    ) -> FastFtResult<RunResult> {
+        validate_data(data)?;
+        Driver::new(&self.cfg, data, &self.runtime).execute(observer)
+    }
+
+    /// Run every dataset in order over the shared pool, collecting one
+    /// result (or error) per dataset. A dataset that fails does not stop
+    /// the rest.
+    pub fn run_all(&self, datasets: &[Dataset]) -> Vec<FastFtResult<RunResult>> {
+        datasets.iter().map(|d| self.run(d)).collect()
+    }
+}

@@ -58,6 +58,30 @@ impl ScoreStats {
     }
 }
 
+impl fastft_tabular::persist::Persist for ScoreStats {
+    fn persist(&self, w: &mut fastft_tabular::persist::Writer) {
+        let ScoreStats { prefix_hits, prefix_misses, evictions, batches, batch_hist } = self;
+        prefix_hits.persist(w);
+        prefix_misses.persist(w);
+        evictions.persist(w);
+        batches.persist(w);
+        batch_hist.persist(w);
+    }
+
+    fn restore(
+        r: &mut fastft_tabular::persist::Reader,
+    ) -> fastft_tabular::persist::PersistResult<Self> {
+        use fastft_tabular::persist::Persist;
+        Ok(ScoreStats {
+            prefix_hits: Persist::restore(r)?,
+            prefix_misses: Persist::restore(r)?,
+            evictions: Persist::restore(r)?,
+            batches: Persist::restore(r)?,
+            batch_hist: Persist::restore(r)?,
+        })
+    }
+}
+
 /// Bounded cache of recurrent encoder states keyed by token prefix.
 ///
 /// `capacity == 0` disables caching entirely (every call falls through to

@@ -15,6 +15,7 @@ use crate::tree::{CartParams, DecisionTreeClassifier, DecisionTreeRegressor, Spl
 use fastft_runtime::Runtime;
 use fastft_tabular::dataset::Dataset;
 use fastft_tabular::metrics::{self, Metric};
+use fastft_tabular::persist::{Persist, PersistResult, Reader, Writer};
 use fastft_tabular::split::KFold;
 use fastft_tabular::{FastFtError, FastFtResult, TaskType};
 
@@ -92,6 +93,67 @@ impl Default for Evaluator {
             split_method: SplitMethod::default(),
             fault_plan: None,
         }
+    }
+}
+
+impl Persist for ModelKind {
+    fn persist(&self, w: &mut Writer) {
+        w.u8(match self {
+            ModelKind::RandomForest => 0,
+            ModelKind::GradientBoosting => 1,
+            ModelKind::DecisionTree => 2,
+            ModelKind::Logistic => 3,
+            ModelKind::Ridge => 4,
+            ModelKind::LinearSvm => 5,
+            ModelKind::Knn => 6,
+        });
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(match r.u8()? {
+            0 => ModelKind::RandomForest,
+            1 => ModelKind::GradientBoosting,
+            2 => ModelKind::DecisionTree,
+            3 => ModelKind::Logistic,
+            4 => ModelKind::Ridge,
+            5 => ModelKind::LinearSvm,
+            6 => ModelKind::Knn,
+            t => return Err(format!("unknown model tag {t}")),
+        })
+    }
+}
+
+impl Persist for Evaluator {
+    fn persist(&self, w: &mut Writer) {
+        // Exhaustive destructure: adding an Evaluator field without
+        // deciding how (or whether) to persist it is a compile error.
+        let Evaluator { model, metric, folds, seed, split_method, fault_plan: _ } = self;
+        model.persist(w);
+        // Optional metric packed into one byte (255 = None), predating the
+        // generic two-byte `Option` encoding.
+        match metric {
+            None => w.u8(255),
+            Some(m) => w.u8(m.persist_tag()),
+        }
+        folds.persist(w);
+        seed.persist(w);
+        split_method.persist(w);
+        // `fault_plan` is a test-only hook with process-local state; it is
+        // never persisted. `FastFt::resume_with` can reattach one.
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(Evaluator {
+            model: Persist::restore(r)?,
+            metric: match r.u8()? {
+                255 => None,
+                tag => Some(Metric::from_persist_tag(tag)?),
+            },
+            folds: Persist::restore(r)?,
+            seed: Persist::restore(r)?,
+            split_method: Persist::restore(r)?,
+            fault_plan: None,
+        })
     }
 }
 

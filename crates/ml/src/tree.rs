@@ -39,6 +39,35 @@ pub enum SplitMethod {
     },
 }
 
+impl fastft_tabular::persist::Persist for SplitMethod {
+    // Fixed-width layout: tag byte + a u32 bin-count slot for both variants.
+    fn persist(&self, w: &mut fastft_tabular::persist::Writer) {
+        match self {
+            SplitMethod::Exact => {
+                w.u8(0);
+                w.u32(0);
+            }
+            SplitMethod::Histogram { max_bins } => {
+                w.u8(1);
+                w.u32(u32::from(*max_bins));
+            }
+        }
+    }
+
+    fn restore(
+        r: &mut fastft_tabular::persist::Reader,
+    ) -> fastft_tabular::persist::PersistResult<Self> {
+        Ok(match (r.u8()?, r.u32()?) {
+            (0, _) => SplitMethod::Exact,
+            (1, bins) => SplitMethod::Histogram {
+                max_bins: u16::try_from(bins)
+                    .map_err(|_| format!("max_bins {bins} out of range"))?,
+            },
+            (t, _) => return Err(format!("unknown split-method tag {t}")),
+        })
+    }
+}
+
 impl Default for SplitMethod {
     fn default() -> Self {
         SplitMethod::Histogram { max_bins: 255 }

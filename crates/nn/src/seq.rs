@@ -73,6 +73,35 @@ impl EncoderKind {
     }
 }
 
+impl fastft_tabular::persist::Persist for EncoderKind {
+    // Fixed-width layout (tag + two operand slots) so every variant
+    // occupies the same shape on disk.
+    fn persist(&self, w: &mut fastft_tabular::persist::Writer) {
+        let (tag, a, b) = match *self {
+            EncoderKind::Lstm { layers } => (0u8, layers, 0),
+            EncoderKind::Rnn { layers } => (1, layers, 0),
+            EncoderKind::Gru { layers } => (2, layers, 0),
+            EncoderKind::Transformer { heads, blocks } => (3, heads, blocks),
+        };
+        w.u8(tag);
+        w.usize(a);
+        w.usize(b);
+    }
+
+    fn restore(
+        r: &mut fastft_tabular::persist::Reader,
+    ) -> fastft_tabular::persist::PersistResult<Self> {
+        let (tag, a, b) = (r.u8()?, r.usize()?, r.usize()?);
+        Ok(match tag {
+            0 => EncoderKind::Lstm { layers: a },
+            1 => EncoderKind::Rnn { layers: a },
+            2 => EncoderKind::Gru { layers: a },
+            3 => EncoderKind::Transformer { heads: a, blocks: b },
+            t => return Err(format!("unknown encoder tag {t}")),
+        })
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Encoder {
     Lstm(Lstm),

@@ -10,6 +10,7 @@
 
 use crate::matrix::Tensor;
 use crate::optim::Adam;
+use fastft_tabular::persist::{Persist, PersistResult, Reader, Writer};
 
 /// A flat, order-preserving snapshot of one network's mutable state.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -78,6 +79,24 @@ pub fn restore(params: Vec<&mut Tensor>, opt: &mut Adam, state: &NetState) -> Re
 /// and the caller should roll back to its pre-training [`NetState`].
 pub fn params_finite(params: &[&mut Tensor]) -> bool {
     params.iter().all(|p| p.value.data.iter().all(|v| v.is_finite()))
+}
+
+impl Persist for NetState {
+    fn persist(&self, w: &mut Writer) {
+        self.params.persist(w);
+        self.opt_t.persist(w);
+        self.opt_m.persist(w);
+        self.opt_v.persist(w);
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(NetState {
+            params: Persist::restore(r)?,
+            opt_t: Persist::restore(r)?,
+            opt_m: Persist::restore(r)?,
+            opt_v: Persist::restore(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use fastft_nn::dense::Dense;
 use fastft_nn::init;
 use fastft_nn::matrix::{Matrix, Tensor};
 use fastft_nn::{snapshot, Adam, NetState};
+use fastft_tabular::persist::{Persist, PersistResult, Reader, Writer};
 use fastft_tabular::rngx::StdRng;
 
 /// Which Q-learning variant an agent runs.
@@ -243,6 +244,43 @@ pub struct QAgentState {
     pub target: Vec<Vec<f64>>,
     /// Update counter (drives the periodic hard target sync).
     pub updates: u64,
+}
+
+impl Persist for QKind {
+    fn persist(&self, w: &mut Writer) {
+        w.u8(match self {
+            QKind::Dqn => 0,
+            QKind::DoubleDqn => 1,
+            QKind::DuelingDqn => 2,
+            QKind::DuelingDoubleDqn => 3,
+        });
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(match r.u8()? {
+            0 => QKind::Dqn,
+            1 => QKind::DoubleDqn,
+            2 => QKind::DuelingDqn,
+            3 => QKind::DuelingDoubleDqn,
+            t => return Err(format!("unknown q-kind tag {t}")),
+        })
+    }
+}
+
+impl Persist for QAgentState {
+    fn persist(&self, w: &mut Writer) {
+        self.online.persist(w);
+        self.target.persist(w);
+        self.updates.persist(w);
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        Ok(QAgentState {
+            online: Persist::restore(r)?,
+            target: Persist::restore(r)?,
+            updates: Persist::restore(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -15,5 +15,5 @@ pub mod schedule;
 
 pub use actor_critic::ActorCritic;
 pub use dqn::{QAgent, QAgentState, QKind};
-pub use replay::{PrioritizedReplay, Transition, UniformReplay};
+pub use replay::{PrioritizedReplay, ReplayState, Transition, UniformReplay};
 pub use schedule::ExpDecay;

@@ -7,6 +7,7 @@
 //! `|δ| + ε` so probabilities stay positive and well-defined (noted in
 //! DESIGN.md §4). [`UniformReplay`] backs the FASTFT⁻ᴿᶜᵀ ablation.
 
+use fastft_tabular::persist::{Persist, PersistResult, Reader, Writer};
 use fastft_tabular::rngx::StdRng;
 
 /// A generic RL transition; the FASTFT engine stores richer memory units
@@ -156,6 +157,151 @@ impl<M> PrioritizedReplay<M> {
         assert_eq!(items.len(), priorities.len(), "item/priority count mismatch");
         assert!(write < capacity, "write cursor out of range");
         PrioritizedReplay { capacity, items, priorities, write, eps: 1e-3 }
+    }
+}
+
+/// Replay-buffer contents in slot order, matching the configured variant.
+///
+/// This is the checkpoint form of both buffer kinds: capture one with
+/// [`PrioritizedReplay::save_state`]/[`UniformReplay::save_state`] and
+/// rebuild with the `from_state` constructors. The [`Persist`] impl
+/// validates internal consistency on restore, so a corrupt file errors
+/// instead of panicking in `from_parts`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayState<M> {
+    /// Prioritized ring buffer (the paper's default).
+    Prioritized {
+        /// Buffer capacity.
+        capacity: usize,
+        /// Ring write cursor.
+        write: usize,
+        /// Stored memories in slot order.
+        items: Vec<M>,
+        /// Slot priorities (`|δ| + ε`), parallel to `items`.
+        priorities: Vec<f64>,
+    },
+    /// Uniform FIFO buffer (FASTFT⁻ᴿᶜᵀ).
+    Uniform {
+        /// Buffer capacity.
+        capacity: usize,
+        /// Ring write cursor.
+        write: usize,
+        /// Stored memories in slot order.
+        items: Vec<M>,
+    },
+}
+
+impl<M> ReplayState<M> {
+    /// Validate internal consistency (capacity, cursor, parallel lengths).
+    pub fn validate(&self) -> Result<(), String> {
+        let (cap, wr, len, prios) = match self {
+            ReplayState::Prioritized { capacity, write, items, priorities } => {
+                (*capacity, *write, items.len(), Some(priorities.len()))
+            }
+            ReplayState::Uniform { capacity, write, items } => {
+                (*capacity, *write, items.len(), None)
+            }
+        };
+        if cap == 0 || len > cap || wr >= cap || prios.is_some_and(|p| p != len) {
+            return Err(format!(
+                "inconsistent replay buffer (capacity {cap}, write {wr}, len {len})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<M: Persist> Persist for ReplayState<M> {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            ReplayState::Prioritized { capacity, write, items, priorities } => {
+                w.u8(0);
+                capacity.persist(w);
+                write.persist(w);
+                items.persist(w);
+                priorities.persist(w);
+            }
+            ReplayState::Uniform { capacity, write, items } => {
+                w.u8(1);
+                capacity.persist(w);
+                write.persist(w);
+                items.persist(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader) -> PersistResult<Self> {
+        let tag = r.u8()?;
+        let capacity = r.usize()?;
+        let write = r.usize()?;
+        let items: Vec<M> = Persist::restore(r)?;
+        let state = match tag {
+            0 => ReplayState::Prioritized {
+                capacity,
+                write,
+                items,
+                priorities: Persist::restore(r)?,
+            },
+            1 => ReplayState::Uniform { capacity, write, items },
+            t => return Err(format!("unknown replay tag {t}")),
+        };
+        state.validate()?;
+        Ok(state)
+    }
+}
+
+impl<M: Clone> PrioritizedReplay<M> {
+    /// Capture the buffer for a checkpoint (slot order preserved).
+    pub fn save_state(&self) -> ReplayState<M> {
+        ReplayState::Prioritized {
+            capacity: self.capacity,
+            write: self.write,
+            items: self.items.clone(),
+            priorities: self.priorities.clone(),
+        }
+    }
+}
+
+impl<M> PrioritizedReplay<M> {
+    /// Rebuild from a captured [`ReplayState::Prioritized`]; errors on a
+    /// mismatched variant or inconsistent parts.
+    pub fn from_state(state: ReplayState<M>) -> Result<Self, String> {
+        state.validate()?;
+        match state {
+            ReplayState::Prioritized { capacity, write, items, priorities } => {
+                Ok(Self::from_parts(capacity, write, items, priorities))
+            }
+            ReplayState::Uniform { .. } => {
+                Err("expected prioritized replay state, found uniform".into())
+            }
+        }
+    }
+}
+
+impl<M: Clone> UniformReplay<M> {
+    /// Capture the buffer for a checkpoint (slot order preserved).
+    pub fn save_state(&self) -> ReplayState<M> {
+        ReplayState::Uniform {
+            capacity: self.capacity,
+            write: self.write,
+            items: self.items.clone(),
+        }
+    }
+}
+
+impl<M> UniformReplay<M> {
+    /// Rebuild from a captured [`ReplayState::Uniform`]; errors on a
+    /// mismatched variant or inconsistent parts.
+    pub fn from_state(state: ReplayState<M>) -> Result<Self, String> {
+        state.validate()?;
+        match state {
+            ReplayState::Uniform { capacity, write, items } => {
+                Ok(Self::from_parts(capacity, write, items))
+            }
+            ReplayState::Prioritized { .. } => {
+                Err("expected uniform replay state, found prioritized".into())
+            }
+        }
     }
 }
 

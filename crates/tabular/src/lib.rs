@@ -26,6 +26,7 @@ pub mod impute;
 pub mod metrics;
 pub mod mi;
 pub mod noise;
+pub mod persist;
 pub mod profile;
 pub mod rngx;
 pub mod split;
